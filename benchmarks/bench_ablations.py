@@ -1,0 +1,23 @@
+"""Ablations of ASM's design choices: ATS sampling degree, round-robin vs
+probabilistic epochs, queueing-delay correction on/off."""
+
+from repro.experiments import ablations
+
+from conftest import env_int
+
+
+def test_ablations(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: ablations.run(
+            num_mixes=env_int("REPRO_BENCH_MIXES", 6),
+            quanta=env_int("REPRO_BENCH_QUANTA", 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablations", result.format_table())
+    errors = result.errors
+    # Section 4.4's claim: sampling has negligible impact on ASM.
+    assert errors["ats-sampled-16"] < errors["ats-full"] + 5.0
+    # Section 4.2's claim: round-robin epochs achieve similar effects.
+    assert abs(errors["round-robin-epochs"] - errors["ats-sampled-16"]) < 6.0

@@ -1,0 +1,20 @@
+"""Section 6 (text): accuracy on database workloads (TPC-C / YCSB).
+Paper: FST 27%, PTCA 12%, ASM 4%."""
+
+from repro.experiments import db_workloads
+
+from conftest import env_int
+
+
+def test_db_workloads(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: db_workloads.run(
+            num_mixes=env_int("REPRO_BENCH_MIXES", 6),
+            quanta=env_int("REPRO_BENCH_QUANTA", 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("db_workloads", result.format_table())
+    survey = result.survey
+    assert survey.mean_error("asm") < survey.mean_error("fst")

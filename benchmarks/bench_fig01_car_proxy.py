@@ -1,0 +1,19 @@
+"""Figure 1: cache access rate as a proxy for performance."""
+
+from repro.experiments import fig01_car_proxy
+
+from conftest import env_int
+
+
+def test_fig01_car_proxy(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig01_car_proxy.run(
+            cycles=env_int("REPRO_BENCH_FIG1_CYCLES", 400_000)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig01_car_proxy", result.format_table())
+    # The paper's claim: performance is proportional to CAR.
+    for app in result.points:
+        assert result.correlation(app) > 0.9, app

@@ -1,0 +1,24 @@
+"""Figure 2: per-benchmark estimation error, unsampled structures.
+
+Paper averages: ASM 9%, PTCA 14.7%, FST 18.5%."""
+
+from repro.experiments import error_comparison
+
+from conftest import env_int
+
+
+def test_fig02_error_unsampled(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: error_comparison.run(
+            sampled=False,
+            num_mixes=env_int("REPRO_BENCH_MIXES", 10),
+            quanta=env_int("REPRO_BENCH_QUANTA", 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig02_error_unsampled", result.format_table())
+    survey = result.survey
+    # Shape: ASM is the most accurate model without sampling.
+    assert survey.mean_error("asm") < survey.mean_error("fst")
+    assert survey.mean_error("asm") < survey.mean_error("ptca")

@@ -1,0 +1,24 @@
+"""Figure 3: estimation error with sampled ATS / small pollution filter.
+
+Paper averages: ASM 9.9%, FST 29.4%, PTCA 40.4% — sampling barely affects
+ASM but wrecks the per-request models."""
+
+from repro.experiments import error_comparison
+
+from conftest import env_int
+
+
+def test_fig03_error_sampled(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: error_comparison.run(
+            sampled=True,
+            num_mixes=env_int("REPRO_BENCH_MIXES", 10),
+            quanta=env_int("REPRO_BENCH_QUANTA", 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig03_error_sampled", result.format_table())
+    survey = result.survey
+    assert survey.mean_error("asm") < survey.mean_error("fst")
+    assert survey.mean_error("asm") < survey.mean_error("ptca")

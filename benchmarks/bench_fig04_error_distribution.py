@@ -1,0 +1,23 @@
+"""Figure 4: distribution of estimation error.
+
+Paper: 95.25% of ASM's estimates err under 20% (76.25% FST, 79.25% PTCA);
+max errors ASM 36%, PTCA 87%, FST 133%."""
+
+from repro.experiments import fig04_error_distribution
+
+from conftest import env_int
+
+
+def test_fig04_error_distribution(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig04_error_distribution.run(
+            num_mixes=env_int("REPRO_BENCH_MIXES", 10),
+            quanta=env_int("REPRO_BENCH_QUANTA", 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig04_error_distribution", result.format_table())
+    # Shape: ASM has the largest small-error share and the smallest tail.
+    assert result.within("asm", 20.0) > result.within("fst", 20.0)
+    assert result.max_error("asm") < result.max_error("fst")

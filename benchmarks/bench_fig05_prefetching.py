@@ -1,0 +1,22 @@
+"""Figure 5: estimation error with a stride prefetcher (degree 4,
+distance 24). Paper: ASM 7.5% (improves), FST 20%, PTCA 15% (degrade)."""
+
+from repro.experiments import fig05_prefetching
+
+from conftest import env_int
+
+
+def test_fig05_prefetching(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig05_prefetching.run(
+            num_mixes=env_int("REPRO_BENCH_MIXES", 8),
+            quanta=env_int("REPRO_BENCH_QUANTA", 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig05_prefetching", result.format_table())
+    # Shape: with prefetching ASM stays the most accurate model.
+    survey = result.with_prefetch
+    assert survey.mean_error("asm") < survey.mean_error("fst")
+    assert survey.mean_error("asm") < survey.mean_error("ptca")

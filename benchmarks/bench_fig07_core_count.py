@@ -1,0 +1,24 @@
+"""Figure 7: estimation error versus core count (4/8/16).
+Paper shape: ASM most accurate at every count, lowest spread."""
+
+from repro.experiments import fig07_core_count
+
+from conftest import env_int
+
+
+def test_fig07_core_count(benchmark, record_result):
+    mixes = env_int("REPRO_BENCH_MIXES", 0)
+    per_count = {4: 8, 8: 5, 16: 3}
+    if mixes:
+        per_count = {k: mixes for k in per_count}
+    result = benchmark.pedantic(
+        lambda: fig07_core_count.run(
+            mixes_per_count=per_count,
+            quanta=env_int("REPRO_BENCH_QUANTA", 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig07_core_count", result.format_table())
+    for cores, survey in result.surveys.items():
+        assert survey.mean_error("asm") < survey.mean_error("fst"), cores

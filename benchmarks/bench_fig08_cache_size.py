@@ -1,0 +1,21 @@
+"""Figure 8: estimation error versus LLC capacity (scaled 128KB-512KB,
+standing for the paper's 1-4MB). Paper shape: ASM most accurate at every
+capacity."""
+
+from repro.experiments import fig08_cache_size
+
+from conftest import env_int
+
+
+def test_fig08_cache_size(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig08_cache_size.run(
+            num_mixes=env_int("REPRO_BENCH_MIXES", 6),
+            quanta=env_int("REPRO_BENCH_QUANTA", 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig08_cache_size", result.format_table())
+    for size, survey in result.surveys.items():
+        assert survey.mean_error("asm") < survey.mean_error("fst"), size

@@ -1,0 +1,28 @@
+"""Figure 9: ASM-Cache vs NoPart/UCP/MCFQ across core counts.
+Paper shape: ASM-Cache is the fairest (lowest max slowdown) with
+comparable-or-better harmonic speedup; gains grow with core count."""
+
+from repro.experiments import fig09_asm_cache
+
+from conftest import env_int
+
+
+def test_fig09_asm_cache(benchmark, record_result):
+    mixes = env_int("REPRO_BENCH_MIXES", 0)
+    per_count = {4: 5, 8: 3, 16: 2}
+    if mixes:
+        per_count = {k: mixes for k in per_count}
+    result = benchmark.pedantic(
+        lambda: fig09_asm_cache.run(
+            mixes_per_count=per_count,
+            quanta=env_int("REPRO_BENCH_QUANTA", 3),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig09_asm_cache", result.format_table())
+    # Shape: slowdown-aware partitioning is at least as fair as UCP.
+    for cores in (4, 8, 16):
+        asm = result.outcomes[(cores, "asm-cache")]["max_slowdown"]
+        ucp = result.outcomes[(cores, "ucp")]["max_slowdown"]
+        assert asm <= ucp * 1.05, cores

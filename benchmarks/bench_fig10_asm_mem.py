@@ -1,0 +1,29 @@
+"""Figure 10: ASM-Mem vs FRFCFS/PARBS/TCM across core counts.
+Paper shape: ASM-Mem achieves the best fairness at comparable
+performance, with growing gains at higher core counts."""
+
+from repro.experiments import fig10_asm_mem
+
+from conftest import env_int
+
+
+def test_fig10_asm_mem(benchmark, record_result):
+    mixes = env_int("REPRO_BENCH_MIXES", 0)
+    per_count = {4: 5, 8: 3, 16: 2}
+    if mixes:
+        per_count = {k: mixes for k in per_count}
+    result = benchmark.pedantic(
+        lambda: fig10_asm_mem.run(
+            mixes_per_count=per_count,
+            quanta=env_int("REPRO_BENCH_QUANTA", 3),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig10_asm_mem", result.format_table())
+    # Shape: slowdown-aware bandwidth partitioning improves fairness over
+    # the application-unaware FR-FCFS baseline.
+    for cores in (4, 8, 16):
+        asm = result.outcomes[(cores, "asm-mem")]["max_slowdown"]
+        frfcfs = result.outcomes[(cores, "frfcfs")]["max_slowdown"]
+        assert asm <= frfcfs * 1.05, cores

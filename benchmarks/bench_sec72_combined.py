@@ -1,0 +1,22 @@
+"""Section 7.2: ASM-Cache-Mem vs PARBS+UCP (best prior combination).
+Paper: ~14.6% fairness gain at comparable performance (16-core)."""
+
+from repro.experiments import sec72_combined
+
+from conftest import env_int
+
+
+def test_sec72_combined(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: sec72_combined.run(
+            num_cores=env_int("REPRO_BENCH_COMBINED_CORES", 8),
+            num_mixes=env_int("REPRO_BENCH_MIXES", 3),
+            quanta=env_int("REPRO_BENCH_QUANTA", 3),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("sec72_combined", result.format_table())
+    asm = result.outcomes["asm-cache-mem"]["max_slowdown"]
+    base = result.outcomes["frfcfs+nopart"]["max_slowdown"]
+    assert asm <= base * 1.05

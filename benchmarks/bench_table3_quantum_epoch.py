@@ -1,0 +1,24 @@
+"""Table 3: ASM error sensitivity to quantum and epoch lengths.
+Paper shape: larger Q helps; E = 1K cycles is the worst epoch length
+(too short to emulate alone-run behaviour)."""
+
+from repro.experiments import table3_quantum_epoch
+
+from conftest import env_int
+
+
+def test_table3_quantum_epoch(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: table3_quantum_epoch.run(
+            num_mixes=env_int("REPRO_BENCH_MIXES", 5),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("table3_quantum_epoch", result.format_table())
+    errors = result.errors
+    quanta = sorted({q for q, _ in errors})
+    # Shape: the shortest epoch (1K) is worse than the default (5K) at the
+    # largest quantum.
+    largest_q = quanta[-1]
+    assert errors[(largest_q, 1_000)] > errors[(largest_q, 5_000)]

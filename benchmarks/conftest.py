@@ -1,0 +1,39 @@
+"""Benchmark-suite helpers.
+
+Every benchmark runs one experiment driver end to end (so the reported
+time is the full experiment cost), prints the reproduced table/figure
+series, and archives it under ``results/`` for EXPERIMENTS.md.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_MIXES`` — workloads per configuration (default: driver
+  defaults, chosen to finish the full suite in tens of minutes);
+* ``REPRO_BENCH_QUANTA`` — quanta per run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture
+def record_result():
+    """Print an experiment's table and archive it under results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

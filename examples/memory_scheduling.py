@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Memory scheduler comparison (Section 7.2's baselines plus BLISS).
+
+Runs one memory-intensive workload under five memory-controller policies —
+FR-FCFS, PARBS, TCM, BLISS and ASM-Mem — and reports fairness (maximum
+slowdown) and performance (harmonic speedup) from ground truth.
+"""
+
+from repro import (
+    AloneRunCache,
+    AsmMemPolicy,
+    AsmModel,
+    make_mix,
+    run_workload,
+    scaled_config,
+)
+from repro.mem.schedulers import BlissScheduler, ParbsScheduler, TcmScheduler
+
+
+def main() -> None:
+    config = scaled_config()
+    mix = make_mix(["mcf", "lbm", "omnetpp", "is"], seed=41)
+    cache = AloneRunCache()
+    print(f"Workload: {', '.join(s.name for s in mix.specs)}\n")
+    print(f"{'scheduler':10s} {'max_slowdown':>12s} {'harmonic_speedup':>17s}")
+
+    schemes = {
+        "frfcfs": dict(),
+        "parbs": dict(scheduler_factory=ParbsScheduler),
+        "tcm": dict(scheduler_factory=lambda: TcmScheduler(mix.num_cores)),
+        "bliss": dict(scheduler_factory=lambda: BlissScheduler(mix.num_cores)),
+        "asm-mem": dict(
+            model_factories={
+                "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets)
+            },
+            policy_factories=[lambda models: AsmMemPolicy(models["asm"])],
+        ),
+    }
+    for name, kwargs in schemes.items():
+        result = run_workload(mix, config, quanta=3, alone_cache=cache, **kwargs)
+        print(f"{name:10s} {result.max_slowdown():12.2f} "
+              f"{result.harmonic_speedup():17.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: estimate application slowdowns online with ASM.
+
+Builds a 4-core workload (mcf + bzip2 + libquantum + h264ref stand-ins),
+runs it on the simulated platform with the Application Slowdown Model
+attached, and compares ASM's online per-quantum estimates against the
+ground truth obtained from real alone runs.
+"""
+
+from repro import AsmModel, make_mix, run_workload, scaled_config
+
+
+def main() -> None:
+    config = scaled_config()
+    mix = make_mix(["mcf", "bzip2", "libquantum", "h264ref"], seed=1)
+
+    print(f"Workload: {', '.join(spec.name for spec in mix.specs)}")
+    print(f"Platform: {config.num_cores} cores, "
+          f"{config.llc.size_bytes // 1024}KB shared LLC, "
+          f"DDR3-1333 x{config.dram.channels} channel")
+    print(f"Quantum {config.quantum_cycles} cycles, "
+          f"epoch {config.epoch_cycles} cycles, "
+          f"ATS sampling {config.ats_sampled_sets} sets\n")
+
+    result = run_workload(
+        mix,
+        config,
+        model_factories={
+            "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets)
+        },
+        quanta=3,
+    )
+
+    for record in result.records:
+        print(f"quantum {record.index}:")
+        for core, spec in enumerate(mix.specs):
+            actual = record.actual_slowdowns[core]
+            estimate = record.estimates["asm"][core]
+            print(
+                f"  core {core} ({spec.name:11s}) "
+                f"actual slowdown {actual:5.2f}   ASM estimate {estimate:5.2f}"
+            )
+    print(f"\nmean ASM estimation error: {result.mean_error('asm'):.1f}%")
+    print(f"workload unfairness (max slowdown): {result.max_slowdown():.2f}")
+    print(f"harmonic speedup: {result.harmonic_speedup():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs in environments without
+the ``wheel`` package (all metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

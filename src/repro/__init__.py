@@ -1,0 +1,91 @@
+"""repro — a reproduction of "The Application Slowdown Model" (MICRO 2015).
+
+The package bundles everything the paper's evaluation needs, implemented
+from scratch in pure Python:
+
+* a discrete-event multi-core memory-system simulator (OoO-approximating
+  cores, shared partitionable LLC, DDR3 timing model, FR-FCFS/PARBS/TCM
+  memory schedulers) — :mod:`repro.cpu`, :mod:`repro.cache`,
+  :mod:`repro.mem`, :mod:`repro.harness`;
+* the Application Slowdown Model and the prior estimators it is compared
+  against (FST, PTCA, MISE, STFM) — :mod:`repro.models`;
+* the slowdown-aware resource-management policies built on it (ASM-Cache,
+  ASM-Mem, ASM-QoS, ASM-Cache-Mem) and prior-work baselines (UCP, MCFQ) —
+  :mod:`repro.policies`;
+* synthetic SPEC/NAS/TPC-C/YCSB-like workloads — :mod:`repro.workloads`;
+* per-figure/table experiment drivers — :mod:`repro.experiments`.
+
+Quick start::
+
+    from repro import AsmModel, run_workload, scaled_config, make_mix
+
+    mix = make_mix(["mcf", "bzip2", "libquantum", "h264ref"], seed=1)
+    result = run_workload(
+        mix, scaled_config(),
+        model_factories={"asm": lambda: AsmModel(sampled_sets=16)},
+        quanta=2,
+    )
+    print(result.mean_error("asm"))
+"""
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    SystemConfig,
+    DEFAULT_CONFIG,
+    scaled_config,
+)
+from repro.engine import Engine
+from repro.harness.runner import (
+    AloneRunCache,
+    RunResult,
+    run_alone,
+    run_workload,
+)
+from repro.harness.system import System
+from repro.models import AsmModel, FstModel, MiseModel, PtcaModel, StfmModel
+from repro.policies import (
+    AsmCacheMemPolicy,
+    AsmCachePolicy,
+    AsmMemPolicy,
+    AsmQosPolicy,
+    McfqPolicy,
+    NaiveQosPolicy,
+    UcpPolicy,
+)
+from repro.workloads import CATALOG, hog_spec, make_mix, random_mixes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "SystemConfig",
+    "DEFAULT_CONFIG",
+    "scaled_config",
+    "Engine",
+    "System",
+    "AloneRunCache",
+    "RunResult",
+    "run_alone",
+    "run_workload",
+    "AsmModel",
+    "FstModel",
+    "MiseModel",
+    "PtcaModel",
+    "StfmModel",
+    "AsmCacheMemPolicy",
+    "AsmCachePolicy",
+    "AsmMemPolicy",
+    "AsmQosPolicy",
+    "McfqPolicy",
+    "NaiveQosPolicy",
+    "UcpPolicy",
+    "CATALOG",
+    "hog_spec",
+    "make_mix",
+    "random_mixes",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Plain-text bar charts for terminal-friendly experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+FULL = "#"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart, one row per labelled value.
+
+    ::
+
+        asm   ########                 9.90
+        fst   #######################  29.40
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(values.values())
+    if peak < 0:
+        raise ValueError("bar charts need non-negative values")
+    label_width = max(len(label) for label in values)
+    lines: List[str] = []
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError(f"negative value for {label!r}")
+        bar = FULL * (round(value / peak * width) if peak else 0)
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 30,
+    unit: str = "",
+) -> str:
+    """Render one bar chart per group with a common scale.
+
+    ``groups`` maps group label -> (series label -> value); all bars share
+    the global maximum so groups are visually comparable.
+    """
+    if not groups:
+        raise ValueError("nothing to chart")
+    peak = max(
+        (value for series in groups.values() for value in series.values()),
+        default=0.0,
+    )
+    label_width = max(
+        (len(label) for series in groups.values() for label in series),
+        default=0,
+    )
+    lines: List[str] = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for label, value in series.items():
+            bar = FULL * (round(value / peak * width) if peak else 0)
+            lines.append(
+                f"  {label.ljust(label_width)}  {bar.ljust(width)}  "
+                f"{value:.2f}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Command-line interface: run any of the paper's experiments.
+
+::
+
+    python -m repro list
+    python -m repro fig02 --mixes 10 --quanta 2
+    python -m repro fig09 --quanta 3 --out results/fig09.txt
+
+Every experiment accepts ``--mixes`` (workloads per configuration) and
+``--quanta`` (quanta per run); the defaults match the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    ablations,
+    db_workloads,
+    error_comparison,
+    fig01_car_proxy,
+    fig04_error_distribution,
+    fig05_prefetching,
+    fig06_latency_distribution,
+    fig07_core_count,
+    fig08_cache_size,
+    fig09_asm_cache,
+    fig10_asm_mem,
+    fig11_qos,
+    sec64_mise_vs_asm,
+    sec72_combined,
+    table3_quantum_epoch,
+)
+
+
+def _with_scale(run, **fixed):
+    def runner(mixes: Optional[int], quanta: Optional[int]):
+        kwargs = dict(fixed)
+        if mixes:
+            kwargs["num_mixes"] = mixes
+        if quanta:
+            kwargs["quanta"] = quanta
+        return run(**kwargs)
+
+    return runner
+
+
+def _per_core_count(run):
+    def runner(mixes: Optional[int], quanta: Optional[int]):
+        kwargs = {}
+        if mixes:
+            kwargs["mixes_per_count"] = {4: mixes, 8: mixes, 16: mixes}
+        if quanta:
+            kwargs["quanta"] = quanta
+        return run(**kwargs)
+
+    return runner
+
+
+def _fixed_scale(run):
+    def runner(mixes: Optional[int], quanta: Optional[int]):
+        kwargs = {}
+        if quanta:
+            kwargs["quanta"] = quanta
+        return run(**kwargs)
+
+    return runner
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig01": _fixed_scale(fig01_car_proxy.run),
+    "fig02": _with_scale(error_comparison.run, sampled=False),
+    "fig03": _with_scale(error_comparison.run, sampled=True),
+    "fig04": _with_scale(fig04_error_distribution.run),
+    "fig05": _with_scale(fig05_prefetching.run),
+    "fig06": _with_scale(fig06_latency_distribution.run, sampled=False),
+    "fig06-sampled": _with_scale(fig06_latency_distribution.run, sampled=True),
+    "fig07": _per_core_count(fig07_core_count.run),
+    "fig08": _with_scale(fig08_cache_size.run),
+    "fig09": _per_core_count(fig09_asm_cache.run),
+    "fig10": _per_core_count(fig10_asm_mem.run),
+    "fig11": _fixed_scale(fig11_qos.run),
+    "table3": _with_scale(table3_quantum_epoch.run),
+    "sec64": _with_scale(sec64_mise_vs_asm.run),
+    "sec72": _with_scale(sec72_combined.run),
+    "db": _with_scale(db_workloads.run),
+    "ablations": _with_scale(ablations.run),
+}
+
+DESCRIPTIONS = {
+    "fig01": "CAR is a proxy for performance",
+    "fig02": "error per benchmark, unsampled structures",
+    "fig03": "error per benchmark, sampled ATS / small filter",
+    "fig04": "error distribution",
+    "fig05": "error with a stride prefetcher",
+    "fig06": "alone miss latency distributions (unsampled)",
+    "fig06-sampled": "alone miss latency distributions (sampled)",
+    "fig07": "error vs core count",
+    "fig08": "error vs cache capacity",
+    "fig09": "ASM-Cache vs NoPart/UCP/MCFQ",
+    "fig10": "ASM-Mem vs FRFCFS/PARBS/TCM/BLISS",
+    "fig11": "ASM-QoS soft slowdown guarantees",
+    "table3": "ASM error vs quantum/epoch lengths",
+    "sec64": "MISE vs ASM",
+    "sec72": "ASM-Cache-Mem vs PARBS+UCP",
+    "db": "database workloads (TPC-C/YCSB)",
+    "ablations": "ASM design-choice ablations",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ASM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list"],
+        help="experiment to run, or 'list' to enumerate them",
+    )
+    parser.add_argument("--mixes", type=int, default=0,
+                        help="workloads per configuration")
+    parser.add_argument("--quanta", type=int, default=0,
+                        help="quanta per run")
+    parser.add_argument("--out", type=str, default="",
+                        help="also write the table to this file")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:14s} {DESCRIPTIONS[name]}")
+        return 0
+    start = time.time()
+    result = EXPERIMENTS[args.experiment](args.mixes or None, args.quanta or None)
+    table = result.format_table()
+    print(table)
+    print(f"\n[{args.experiment} finished in {time.time() - start:.1f}s]")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Trace-driven core models and prefetching."""
+
+from repro.cpu.trace import TraceRecord
+from repro.cpu.core import Core
+from repro.cpu.prefetcher import StridePrefetcher
+
+__all__ = ["TraceRecord", "Core", "StridePrefetcher"]

@@ -1,0 +1,28 @@
+"""Trace record format consumed by the core model.
+
+A trace is an iterator of :class:`TraceRecord`. Each record represents one
+access to the *shared* cache (i.e. a private-L1 miss) preceded by ``gap``
+instructions that did not reach the shared cache (compute instructions and
+L1 hits).
+
+Pre-filtering the private L1 into the trace is sound for this study: the L1
+is private, so an application's L1 behaviour is identical whether it runs
+alone or shared — interference only begins at the shared cache. It is also
+what makes a Python-based reproduction tractable (the event count drops by
+~100x versus simulating every load/store).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+
+class TraceRecord(NamedTuple):
+    """One shared-cache access."""
+
+    gap: int  # instructions executed since the previous shared-cache access
+    line_addr: int  # cache-line address (byte address >> 6)
+    is_write: bool
+
+
+TraceIterator = Iterator[TraceRecord]

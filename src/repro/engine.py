@@ -1,0 +1,66 @@
+"""Deterministic discrete-event simulation engine.
+
+All simulator components share one :class:`Engine`. Components schedule
+callbacks at integer cycle timestamps; ties are broken by insertion order so
+that identical inputs always produce identical simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+class Engine:
+    """A heapq-based event loop with integer cycle time."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, Callback]] = []
+        self._seq: int = 0
+        self._stopped: bool = False
+
+    def schedule(self, delay: int, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return before the next event."""
+        self._stopped = True
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run events until the queue drains or ``until`` cycles is reached.
+
+        Returns the final simulation time. Events scheduled exactly at
+        ``until`` are not executed; time is clamped to ``until``.
+        """
+        self._stopped = False
+        queue = self._queue
+        while queue and not self._stopped:
+            time, _seq, callback = queue[0]
+            if until is not None and time >= until:
+                self.now = until
+                return self.now
+            heapq.heappop(queue)
+            self.now = time
+            callback()
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,163 @@
+"""Shared machinery for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig, scaled_config
+from repro.harness import metrics
+from repro.harness.runner import AloneRunCache, ModelFactory, RunResult, run_workload
+from repro.models.asm import AsmModel
+from repro.models.fst import FstModel
+from repro.models.mise import MiseModel
+from repro.models.ptca import PtcaModel
+from repro.workloads.mixes import WorkloadMix, random_mixes
+
+# Pollution-filter size matching the overhead of a 16-set x 16-way sampled
+# ATS (256 entries); the Bloom filter gets 4x counters, as in FST [15].
+EQUAL_OVERHEAD_FILTER_COUNTERS = 1024
+
+
+def unsampled_models() -> Dict[str, ModelFactory]:
+    """Figure 2 configuration: exact/full structures for every model."""
+    return {
+        "fst": lambda: FstModel(filter_counters=None),
+        "ptca": lambda: PtcaModel(sampled_sets=None),
+        "asm": lambda: AsmModel(sampled_sets=None),
+    }
+
+
+def sampled_models(config: SystemConfig) -> Dict[str, ModelFactory]:
+    """Figure 3 configuration: sampled ATS and equal-size pollution filter."""
+    sets = config.ats_sampled_sets
+    return {
+        "fst": lambda: FstModel(filter_counters=EQUAL_OVERHEAD_FILTER_COUNTERS),
+        "ptca": lambda: PtcaModel(sampled_sets=sets),
+        "asm": lambda: AsmModel(sampled_sets=sets),
+    }
+
+
+def headline_models(config: SystemConfig) -> Dict[str, ModelFactory]:
+    """The paper's headline comparison: unsampled FST/PTCA (their best
+    configuration) against sampled (practical) ASM."""
+    return {
+        "fst": lambda: FstModel(filter_counters=None),
+        "ptca": lambda: PtcaModel(sampled_sets=None),
+        "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets),
+        "mise": lambda: MiseModel(),
+    }
+
+
+@dataclass
+class ErrorSurvey:
+    """Per-application and overall slowdown-estimation errors."""
+
+    model_names: List[str]
+    # model -> app name -> list of per-quantum errors across all instances
+    per_app: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    # model -> flat error list
+    overall: Dict[str, List[float]] = field(default_factory=dict)
+    # model -> per-workload mean errors (for stdev-across-workloads bars)
+    per_workload: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_run(self, result: RunResult) -> None:
+        for model in self.model_names:
+            per_core = result.errors_for(model)
+            workload_errors: List[float] = []
+            for core, errors in enumerate(per_core):
+                app = result.mix.specs[core].name
+                self.per_app.setdefault(model, {}).setdefault(app, []).extend(errors)
+                self.overall.setdefault(model, []).extend(errors)
+                workload_errors.extend(errors)
+            if workload_errors:
+                self.per_workload.setdefault(model, []).append(
+                    metrics.mean(workload_errors)
+                )
+
+    def mean_error(self, model: str) -> float:
+        errors = self.overall.get(model, [])
+        return metrics.mean(errors) if errors else float("nan")
+
+    def stdev_across_workloads(self, model: str) -> float:
+        return metrics.stdev(self.per_workload.get(model, []))
+
+    def app_means(self, model: str) -> Dict[str, float]:
+        return {
+            app: metrics.mean(errors)
+            for app, errors in self.per_app.get(model, {}).items()
+            if errors
+        }
+
+
+def survey_errors(
+    mixes: Sequence[WorkloadMix],
+    config: SystemConfig,
+    model_factories: Dict[str, ModelFactory],
+    quanta: int = 2,
+    alone_cache: Optional[AloneRunCache] = None,
+    scheduler_factory: Optional[Callable] = None,
+) -> ErrorSurvey:
+    """Run every mix and collect estimation errors for every model."""
+    survey = ErrorSurvey(model_names=list(model_factories))
+    # Explicit None check: an empty AloneRunCache is falsy (len == 0).
+    cache = alone_cache if alone_cache is not None else AloneRunCache()
+    for mix in mixes:
+        result = run_workload(
+            mix,
+            config,
+            model_factories=model_factories,
+            scheduler_factory=scheduler_factory,
+            quanta=quanta,
+            alone_cache=cache,
+        )
+        survey.add_run(result)
+    return survey
+
+
+def default_mixes(count: int, num_cores: int, seed: int = 42) -> List[WorkloadMix]:
+    return random_mixes(count, num_cores, seed=seed)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return "nan" if math.isnan(value) else f"{value:.2f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def fairness_of_runs(results: Sequence[RunResult]) -> Dict[str, float]:
+    """Average unfairness (max slowdown) and harmonic speedup over runs."""
+    return {
+        "max_slowdown": metrics.mean(r.max_slowdown() for r in results),
+        "harmonic_speedup": metrics.mean(r.harmonic_speedup() for r in results),
+    }
+
+
+__all__ = [
+    "EQUAL_OVERHEAD_FILTER_COUNTERS",
+    "unsampled_models",
+    "sampled_models",
+    "headline_models",
+    "ErrorSurvey",
+    "survey_errors",
+    "default_mixes",
+    "format_table",
+    "fairness_of_runs",
+    "scaled_config",
+]

@@ -1,0 +1,24 @@
+"""System wiring, run orchestration and metrics."""
+
+from repro.harness.system import MemoryHierarchy, System
+from repro.harness.runner import (
+    AloneProfile,
+    AloneRunCache,
+    QuantumRecord,
+    RunResult,
+    run_alone,
+    run_workload,
+)
+from repro.harness import metrics
+
+__all__ = [
+    "MemoryHierarchy",
+    "System",
+    "AloneProfile",
+    "AloneRunCache",
+    "QuantumRecord",
+    "RunResult",
+    "run_alone",
+    "run_workload",
+    "metrics",
+]

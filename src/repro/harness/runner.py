@@ -1,0 +1,261 @@
+"""Run orchestration: shared runs, alone runs and per-quantum ground truth.
+
+The methodology follows Section 5 of the paper: the *actual* slowdown of an
+application during a quantum is ``IPC_alone / IPC_shared``, where
+``IPC_alone`` is measured over *the same amount of work* the application
+completed in the shared quantum. We therefore simulate every application
+alone on the identical platform, record a cycle/instruction profile, and
+invert it over each shared quantum's instruction span:
+
+::
+
+    actual_slowdown(q) = Q / alone_cycles(inst_begin(q) .. inst_end(q))
+
+Alone runs are memoised in :class:`AloneRunCache` because one alone profile
+serves every model, policy and scheduler evaluated on the same workload.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.harness.system import System
+from repro.harness import metrics
+from repro.mem.schedulers import Scheduler
+from repro.models.base import SlowdownModel
+from repro.workloads.mixes import WorkloadMix
+
+ModelFactory = Callable[[], SlowdownModel]
+SchedulerFactory = Callable[[], Scheduler]
+# A policy factory receives the system's attached models by name so policies
+# can share a model instance (ASM-Cache and ASM-Mem both consume AsmModel).
+PolicyFactory = Callable[[Dict[str, SlowdownModel]], "object"]
+
+
+@dataclass
+class AloneProfile:
+    """Committed-instruction checkpoints of an alone run."""
+
+    checkpoint_interval: int
+    instructions: List[int]  # instructions committed at (k+1)*interval
+
+    def time_at(self, instruction: float) -> float:
+        """Cycles the alone run needed to commit ``instruction`` many
+        instructions (linear interpolation; linear extrapolation past the
+        profiled range)."""
+        if instruction <= 0:
+            return 0.0
+        insts = self.instructions
+        interval = self.checkpoint_interval
+        index = bisect.bisect_left(insts, instruction)
+        if index >= len(insts):
+            # Extrapolate with the slope of the last profiled interval.
+            if len(insts) >= 2:
+                slope = insts[-1] - insts[-2]
+            else:
+                slope = insts[-1] if insts else 1
+            slope = max(slope, 1)
+            extra = (instruction - insts[-1]) / slope
+            return (len(insts) + extra) * interval
+        prev_inst = insts[index - 1] if index > 0 else 0
+        prev_time = index * interval
+        span = insts[index] - prev_inst
+        if span <= 0:
+            return prev_time + interval
+        frac = (instruction - prev_inst) / span
+        return prev_time + frac * interval
+
+    def cycles_for_span(self, inst_begin: float, inst_end: float) -> float:
+        return self.time_at(inst_end) - self.time_at(inst_begin)
+
+
+def run_alone(
+    trace,
+    config: SystemConfig,
+    cycles: int,
+    checkpoint_interval: int = 2000,
+) -> AloneProfile:
+    """Simulate one application alone on the platform (full cache, no
+    co-runners, no epoch prioritisation — there is nobody to prioritise
+    against) and record its cycle/instruction profile."""
+    alone_config = dataclasses.replace(config, num_cores=1)
+    system = System(alone_config, [trace], enable_epochs=False)
+    instructions: List[int] = []
+    time = 0
+    while time < cycles:
+        time = min(time + checkpoint_interval, cycles)
+        system.run_until(time)
+        instructions.append(system.cores[0].committed_instructions(time))
+    return AloneProfile(checkpoint_interval, instructions)
+
+
+class AloneRunCache:
+    """Memoises alone profiles keyed by (trace identity, config, length)."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[tuple, AloneProfile] = {}
+
+    @staticmethod
+    def _config_key(config: SystemConfig) -> tuple:
+        return (
+            config.core,
+            config.l1,
+            config.llc,
+            config.dram,
+        )
+
+    def get(
+        self,
+        mix: WorkloadMix,
+        core: int,
+        config: SystemConfig,
+        cycles: int,
+    ) -> AloneProfile:
+        spec = mix.specs[core]
+        key = (spec, mix.seed, core, self._config_key(config), cycles)
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = run_alone(mix.trace_for_core(core), config, cycles)
+            self._profiles[key] = profile
+        return profile
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+
+@dataclass
+class QuantumRecord:
+    """Ground truth and model estimates for one quantum."""
+
+    index: int
+    instructions: List[int]  # committed per core at quantum end
+    shared_ipc: List[float]
+    actual_slowdowns: List[float]  # NaN when the core made no progress
+    estimates: Dict[str, List[float]] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one shared run of a workload."""
+
+    mix: WorkloadMix
+    config: SystemConfig
+    records: List[QuantumRecord]
+
+    def errors_for(self, model_name: str) -> List[List[float]]:
+        """Per-core lists of per-quantum estimation errors (percent)."""
+        n = self.mix.num_cores
+        errors: List[List[float]] = [[] for _ in range(n)]
+        for record in self.records:
+            estimates = record.estimates.get(model_name)
+            if estimates is None:
+                continue
+            for core in range(n):
+                actual = record.actual_slowdowns[core]
+                if math.isnan(actual) or actual <= 0:
+                    continue
+                errors[core].append(
+                    metrics.estimation_error_pct(estimates[core], actual)
+                )
+        return errors
+
+    def mean_error(self, model_name: str) -> float:
+        all_errors = [e for core in self.errors_for(model_name) for e in core]
+        return metrics.mean(all_errors) if all_errors else float("nan")
+
+    def mean_actual_slowdowns(self) -> List[float]:
+        """Per-core mean actual slowdown across quanta (NaN-quanta skipped)."""
+        n = self.mix.num_cores
+        result = []
+        for core in range(n):
+            values = [
+                r.actual_slowdowns[core]
+                for r in self.records
+                if not math.isnan(r.actual_slowdowns[core])
+            ]
+            result.append(metrics.mean(values) if values else float("nan"))
+        return result
+
+    def max_slowdown(self) -> float:
+        return metrics.max_slowdown(self.mean_actual_slowdowns())
+
+    def harmonic_speedup(self) -> float:
+        return metrics.harmonic_speedup(self.mean_actual_slowdowns())
+
+
+def run_workload(
+    mix: WorkloadMix,
+    config: SystemConfig,
+    model_factories: Optional[Dict[str, ModelFactory]] = None,
+    policy_factories: Optional[Sequence[PolicyFactory]] = None,
+    scheduler_factory: Optional[SchedulerFactory] = None,
+    quanta: int = 1,
+    alone_cache: Optional[AloneRunCache] = None,
+    enable_epochs: bool = True,
+    epoch_assignment: str = "random",
+) -> RunResult:
+    """Run ``mix`` for ``quanta`` quanta with the given models/policies and
+    compute per-quantum ground-truth slowdowns."""
+    config = dataclasses.replace(config, num_cores=mix.num_cores)
+    config.validate()
+    scheduler = scheduler_factory() if scheduler_factory else None
+    system = System(config, mix.traces(), scheduler=scheduler, seed=mix.seed,
+                    enable_epochs=enable_epochs,
+                    epoch_assignment=epoch_assignment)
+
+    models: Dict[str, SlowdownModel] = {}
+    for name, factory in (model_factories or {}).items():
+        model = factory()
+        model.attach(system)
+        models[name] = model
+    policies = []
+    for factory in policy_factories or ():
+        policy = factory(models)
+        policy.attach(system)
+        policies.append(policy)
+
+    total_cycles = quanta * config.quantum_cycles
+    # Explicit None check: an empty AloneRunCache is falsy (len == 0).
+    cache = alone_cache if alone_cache is not None else AloneRunCache()
+    profiles = [
+        cache.get(mix, core, config, total_cycles + config.quantum_cycles)
+        for core in range(mix.num_cores)
+    ]
+
+    records: List[QuantumRecord] = []
+    prev_instructions = [0] * mix.num_cores
+    for q in range(quanta):
+        system.run_quantum()
+        instructions = system.committed_instructions()
+        actual: List[float] = []
+        shared_ipc: List[float] = []
+        for core in range(mix.num_cores):
+            done = instructions[core] - prev_instructions[core]
+            shared_ipc.append(done / config.quantum_cycles)
+            if done <= 0:
+                actual.append(float("nan"))
+                continue
+            alone_cycles = profiles[core].cycles_for_span(
+                prev_instructions[core], instructions[core]
+            )
+            if alone_cycles <= 0:
+                actual.append(float("nan"))
+            else:
+                actual.append(config.quantum_cycles / alone_cycles)
+        record = QuantumRecord(
+            index=q,
+            instructions=list(instructions),
+            shared_ipc=shared_ipc,
+            actual_slowdowns=actual,
+        )
+        for name, model in models.items():
+            record.estimates[name] = list(model.estimates_history[q])
+        records.append(record)
+        prev_instructions = instructions
+
+    return RunResult(mix=mix, config=config, records=records)

@@ -1,0 +1,23 @@
+"""Main memory subsystem: DDR3 timing model, controller, schedulers."""
+
+from repro.mem.request import MemRequest
+from repro.mem.dram import Bank, Channel, DramMapping
+from repro.mem.controller import MemoryController
+from repro.mem.schedulers import (
+    BlissScheduler,
+    FrFcfsScheduler,
+    ParbsScheduler,
+    TcmScheduler,
+)
+
+__all__ = [
+    "MemRequest",
+    "Bank",
+    "Channel",
+    "DramMapping",
+    "MemoryController",
+    "BlissScheduler",
+    "FrFcfsScheduler",
+    "ParbsScheduler",
+    "TcmScheduler",
+]

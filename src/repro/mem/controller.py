@@ -1,0 +1,279 @@
+"""The memory controller.
+
+Owns per-channel read/write queues, drives the DDR3 timing model through a
+pluggable scheduling policy, and maintains the instrumentation every
+slowdown model in the paper consumes:
+
+* **Epoch priority** (:attr:`priority_core`): requests of one application
+  can be given highest priority, the mechanism MISE/ASM/ASM-Mem use to
+  emulate alone-run memory service (Section 3.2, step 1).
+* **Queueing cycles** (Section 4.3): cycles during which the highest-
+  priority application has an outstanding request while the previously
+  issued command belonged to another application.
+* **Per-request interference attribution**: each read accumulates the
+  cycles it waited behind other cores' bank/bus occupancy plus row-conflict
+  penalties caused by other cores. This is exactly the per-request signal
+  FST/PTCA/STFM-style accounting consumes — and the paper argues is
+  unreliable under overlapped service.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.config import DramConfig
+from repro.engine import Engine
+from repro.mem.dram import Channel, DramMapping, service_request
+from repro.mem.request import MemRequest
+from repro.mem.schedulers import FrFcfsScheduler, ParbsScheduler, Scheduler
+
+CompletionListener = Callable[[MemRequest], None]
+
+# Write queue occupancy beyond which writes are drained ahead of reads.
+WRITE_DRAIN_WATERMARK = 64
+
+
+class MemoryController:
+    """Per-channel queues + scheduler + DDR3 timing."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: DramConfig,
+        num_cores: int,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.num_cores = num_cores
+        self.scheduler = scheduler or FrFcfsScheduler()
+        self.mapping = DramMapping(config)
+        self.channels: List[Channel] = [
+            Channel(self.mapping.banks_per_channel) for _ in range(config.channels)
+        ]
+        self.read_queues: List[List[MemRequest]] = [
+            [] for _ in range(config.channels)
+        ]
+        self.write_queues: List[List[MemRequest]] = [
+            [] for _ in range(config.channels)
+        ]
+        if isinstance(self.scheduler, ParbsScheduler):
+            self.scheduler.register_queues(self.read_queues)
+        self._wake_scheduled = [False] * config.channels
+
+        self.priority_core: int = -1
+        # Core whose queueing cycles are being accounted (normally the
+        # priority core; decoupled during epoch warm-up windows).
+        self.accounting_core: int = -1
+        # Per-core counters.
+        self.reads_issued = [0] * num_cores
+        self.row_hits = [0] * num_cores
+        self.row_misses = [0] * num_cores
+        self.queueing_cycles = [0] * num_cores
+        self._last_account_time = [0] * config.channels
+        self.completion_listeners: List[CompletionListener] = []
+        self.refreshes_performed = 0
+        if config.refresh_enabled:
+            self.engine.schedule(config.trefi, self._refresh)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: MemRequest) -> None:
+        """Accept a new request; timing fields are filled as it is served."""
+        channel, bank, row = self.mapping.locate(request.line_addr)
+        request.channel = channel
+        request.bank = bank
+        request.row = row
+        if request.is_write:
+            self.write_queues[channel].append(request)
+        else:
+            self.read_queues[channel].append(request)
+        self._wake(channel)
+
+    def set_priority_core(self, core: int) -> None:
+        """Give ``core``'s requests highest priority (-1 disables).
+
+        Settles queueing accounting first so counted cycles are attributed
+        to the application that was prioritised while they elapsed.
+        """
+        for channel in range(self.config.channels):
+            self._account_queueing(channel, self.engine.now)
+        self.priority_core = core
+        self.accounting_core = core
+
+    def set_accounting_core(self, core: int) -> None:
+        """Restrict queueing-cycle accounting to ``core`` (-1 disables)
+        without changing scheduling priority — used to exclude epoch
+        warm-up windows from the Section 4.3 correction."""
+        for channel in range(self.config.channels):
+            self._account_queueing(channel, self.engine.now)
+        self.accounting_core = core
+
+    def outstanding_reads(self, core: int) -> int:
+        return sum(
+            1 for q in self.read_queues for r in q if r.core == core
+        )
+
+    def reset_stats(self) -> None:
+        self.reads_issued = [0] * self.num_cores
+        self.row_hits = [0] * self.num_cores
+        self.row_misses = [0] * self.num_cores
+        self.queueing_cycles = [0] * self.num_cores
+
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """All-bank refresh on every channel: busy for tRFC, rows closed.
+
+        Modelled at channel granularity (all ranks refresh together), which
+        is the common auto-refresh configuration."""
+        now = self.engine.now
+        done = now + self.config.trfc
+        for channel_idx, channel in enumerate(self.channels):
+            for bank in channel.banks:
+                bank.busy_until = max(bank.busy_until, done)
+                bank.open_row = None
+                bank.last_opener = -1
+            if self.read_queues[channel_idx] or self.write_queues[channel_idx]:
+                self.engine.schedule_at(done, lambda ch=channel_idx: self._wake(ch))
+        self.refreshes_performed += 1
+        self.engine.schedule(self.config.trefi, self._refresh)
+
+    def row_hit_rate(self, core: int) -> float:
+        """Row-buffer hit rate of ``core``'s serviced reads."""
+        total = self.row_hits[core] + self.row_misses[core]
+        return self.row_hits[core] / total if total else 0.0
+
+    def _wake(self, channel: int) -> None:
+        if not self._wake_scheduled[channel]:
+            self._wake_scheduled[channel] = True
+            self.engine.schedule(0, lambda ch=channel: self._issue(ch))
+
+    def _account_queueing(self, channel_idx: int, now: int) -> None:
+        """Accrue Section 4.3 queueing cycles over the window since the last
+        accounting point: a cycle is a queueing cycle if a request from the
+        highest-priority application is outstanding and the previous command
+        issued by the controller came from another application (the paper's
+        literal definition). This captures all the residual interference a
+        non-preemptive controller leaves — bank occupancy, bus bursts and
+        write drains from other applications."""
+        start = self._last_account_time[channel_idx]
+        self._last_account_time[channel_idx] = now
+        if now <= start:
+            return
+        core = self.accounting_core
+        if core < 0:
+            return
+        channel = self.channels[channel_idx]
+        if channel.last_issued_core in (-1, core):
+            return
+        oldest = None
+        for request in self.read_queues[channel_idx]:
+            if request.core == core and (
+                oldest is None or request.arrival_time < oldest.arrival_time
+            ):
+                oldest = request
+        if oldest is None or oldest.arrival_time >= now:
+            return
+        # A wait behind the application's *own* in-flight request on the
+        # same bank is intrinsic (an alone run would wait too), not
+        # interference — do not count it as a queueing cycle.
+        bank = channel.banks[oldest.bank]
+        if bank.busy_until > start and bank.current_core == core:
+            return
+        self.queueing_cycles[core] += now - max(start, oldest.arrival_time)
+
+    def _candidates(self, channel_idx: int) -> List[MemRequest]:
+        channel = self.channels[channel_idx]
+        now = self.engine.now
+        banks = channel.banks
+
+        def issuable(queue):
+            return [r for r in queue if banks[r.bank].busy_until <= now]
+
+        writes_pending = len(self.write_queues[channel_idx])
+        if writes_pending >= WRITE_DRAIN_WATERMARK:
+            writes = issuable(self.write_queues[channel_idx])
+            if writes:
+                return writes
+        reads = issuable(self.read_queues[channel_idx])
+        if reads:
+            if self.priority_core >= 0:
+                prioritized = [r for r in reads if r.core == self.priority_core]
+                if prioritized:
+                    return prioritized
+            return reads
+        return issuable(self.write_queues[channel_idx])
+
+    def _issue(self, channel_idx: int) -> None:
+        self._wake_scheduled[channel_idx] = False
+        now = self.engine.now
+        channel = self.channels[channel_idx]
+        self._account_queueing(channel_idx, now)
+        self.scheduler.update(now, self.reads_issued)
+
+        while True:
+            candidates = self._candidates(channel_idx)
+            if not candidates:
+                break
+            request = self.scheduler.pick(candidates, channel, now)
+            completion, row_hit, conflict_other = service_request(
+                channel, request, now, self.config
+            )
+            queue = (
+                self.write_queues[channel_idx]
+                if request.is_write
+                else self.read_queues[channel_idx]
+            )
+            queue.remove(request)
+            self._attribute_interference(
+                channel_idx, request, completion - now, conflict_other
+            )
+            if not request.is_write:
+                self.reads_issued[request.core] += 1
+                if row_hit:
+                    self.row_hits[request.core] += 1
+                else:
+                    self.row_misses[request.core] += 1
+            channel.last_issued_core = request.core
+            channel.last_issue_time = now
+            self.engine.schedule_at(
+                completion, lambda r=request, ch=channel_idx: self._complete(r, ch)
+            )
+
+    def _attribute_interference(
+        self,
+        channel_idx: int,
+        request: MemRequest,
+        occupancy: int,
+        conflict_other: bool,
+    ) -> None:
+        """Charge other cores' *oldest* waiting requests for this issue's
+        resource occupancy, mirroring STFM-style hardware that tracks one
+        stalled request per thread per cycle: full occupancy on a bank
+        match, one data burst otherwise (bus serialisation). Also charge
+        this request for a row conflict another core caused."""
+        if conflict_other:
+            request.interference_cycles += self.config.trp + self.config.trcd
+        burst = self.config.burst_time
+        oldest: dict = {}
+        for waiting in self.read_queues[channel_idx]:
+            if waiting.core == request.core:
+                continue
+            head = oldest.get(waiting.core)
+            if head is None or waiting.arrival_time < head.arrival_time:
+                oldest[waiting.core] = waiting
+        for waiting in oldest.values():
+            if waiting.bank == request.bank:
+                waiting.interference_cycles += occupancy
+            else:
+                waiting.interference_cycles += burst
+
+    def _complete(self, request: MemRequest, channel_idx: int) -> None:
+        self._account_queueing(channel_idx, self.engine.now)
+        if request.callback is not None:
+            request.callback(request)
+        if not request.is_write:
+            for listener in self.completion_listeners:
+                listener(request)
+        # The freed bank may unblock queued work.
+        if self.read_queues[channel_idx] or self.write_queues[channel_idx]:
+            self._wake(channel_idx)

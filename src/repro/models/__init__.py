@@ -1,0 +1,19 @@
+"""Online slowdown-estimation models: ASM and the prior works it is
+compared against (FST, PTCA, MISE, STFM)."""
+
+from repro.models.base import OutstandingTracker, SlowdownModel
+from repro.models.asm import AsmModel
+from repro.models.fst import FstModel
+from repro.models.ptca import PtcaModel
+from repro.models.mise import MiseModel
+from repro.models.stfm import StfmModel
+
+__all__ = [
+    "OutstandingTracker",
+    "SlowdownModel",
+    "AsmModel",
+    "FstModel",
+    "PtcaModel",
+    "MiseModel",
+    "StfmModel",
+]

@@ -1,0 +1,291 @@
+"""The Application Slowdown Model (Sections 3 and 4 of the paper).
+
+Per quantum (Q cycles), for each application:
+
+* ``CAR_shared`` is measured directly: shared-cache accesses / Q.
+* ``CAR_alone`` is estimated from the epochs (E cycles) assigned to the
+  application, during which its requests had highest memory priority:
+
+  ::
+
+      CAR_alone = (epoch-hits + epoch-misses) /
+                  (epoch-count*E - epoch-excess-cycles
+                                 - epoch-ATS-misses * avg-queueing-delay)
+
+      epoch-excess-cycles = contention-misses * (avg-miss-time - avg-hit-time)
+      contention-misses   = epoch-ATS-hits - epoch-hits
+
+* slowdown = CAR_alone / CAR_shared.
+
+The auxiliary tag store is optionally set-sampled (Section 4.4), in which
+case ``epoch-ATS-hits`` is the sampled hit *fraction* scaled by the epoch
+access count. Memory queueing residue is corrected per Section 4.3 using
+the controller's queueing-cycle counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.auxtag import AuxiliaryTagStore
+from repro.harness.system import System
+from repro.models.base import OutstandingTracker, SlowdownModel
+
+
+@dataclass
+class AsmQuantumStats:
+    """Snapshot of one application's ASM-visible behaviour for a quantum.
+
+    Exposed so the resource-management policies built on ASM (ASM-Cache,
+    ASM-Mem, ASM-QoS) can re-derive slowdowns for hypothetical cache
+    allocations (Section 7.1's ``CAR_n``).
+    """
+
+    slowdown: float = 1.0
+    car_alone: float = 0.0
+    car_shared: float = 0.0
+    quantum_hits: int = 0
+    quantum_misses: int = 0
+    avg_hit_time: float = 0.0
+    avg_miss_time: float = 0.0
+    alone_avg_miss_time: float = 0.0
+    utility_curve: List[float] = field(default_factory=list)
+    quantum_cycles: int = 0
+
+    @property
+    def quantum_accesses(self) -> int:
+        return self.quantum_hits + self.quantum_misses
+
+
+class AsmModel(SlowdownModel):
+    """Online ASM estimator for every core of a system."""
+
+    name = "asm"
+    uses_epochs = True
+
+    def __init__(
+        self,
+        sampled_sets: Optional[int] = None,
+        queueing_correction: bool = True,
+    ) -> None:
+        """``sampled_sets=None`` keeps a full (unsampled) auxiliary tag
+        store; the paper's practical configuration is 64 sampled sets.
+        ``queueing_correction=False`` disables the Section 4.3 residual
+        memory-queueing correction (ablation)."""
+        super().__init__()
+        self.sampled_sets = sampled_sets
+        self.queueing_correction = queueing_correction
+        self.ats: List[AuxiliaryTagStore] = []
+        self.last_quantum: List[AsmQuantumStats] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, system: System) -> None:
+        super().attach(system)
+        n = system.config.num_cores
+        self.ats = [
+            AuxiliaryTagStore(system.config.llc, self.sampled_sets)
+            for _ in range(n)
+        ]
+        # Per-quantum counters.
+        self._accesses = [0] * n
+        self._hits = [0] * n
+        self._misses = [0] * n
+        self._epoch_count = [0] * n
+        self._epoch_hits = [0] * n
+        self._epoch_misses = [0] * n
+        self._epoch_sampled_ats_hits = [0] * n
+        self._epoch_sampled_shared_hits = [0] * n
+        self._epoch_sampled_ats_accesses = [0] * n
+        self._queueing_base = list(system.controller.queueing_cycles)
+        # Core currently being measured (its epoch is past warm-up).
+        self._measuring = -1
+        self._epoch_hit_time = [OutstandingTracker(gate_open=False) for _ in range(n)]
+        self._epoch_miss_time = [OutstandingTracker(gate_open=False) for _ in range(n)]
+        self._quantum_hit_time = [OutstandingTracker() for _ in range(n)]
+        self._quantum_miss_time = [OutstandingTracker() for _ in range(n)]
+        self.last_quantum = [AsmQuantumStats() for _ in range(n)]
+        system.hierarchy.access_listeners.append(self._on_access)
+        system.hierarchy.service_listeners.append(self._on_service)
+        system.epoch_listeners.append(self._on_epoch)
+        system.measure_listeners.append(self._on_measure)
+
+    # ------------------------------------------------------------------
+    def _on_access(
+        self, core: int, line_addr: int, is_write: bool, hit: bool, now: int
+    ) -> None:
+        self._accesses[core] += 1
+        if hit:
+            self._hits[core] += 1
+        else:
+            self._misses[core] += 1
+        outcome = self.ats[core].access(line_addr)
+        if self._measuring == core:
+            if hit:
+                self._epoch_hits[core] += 1
+            else:
+                self._epoch_misses[core] += 1
+            if outcome.sampled:
+                self._epoch_sampled_ats_accesses[core] += 1
+                if outcome.hit:
+                    self._epoch_sampled_ats_hits[core] += 1
+                if hit:
+                    self._epoch_sampled_shared_hits[core] += 1
+
+    def _on_service(self, core: int, is_hit: bool, is_start: bool, now: int) -> None:
+        epoch = self._epoch_hit_time[core] if is_hit else self._epoch_miss_time[core]
+        quantum = (
+            self._quantum_hit_time[core] if is_hit else self._quantum_miss_time[core]
+        )
+        if is_start:
+            epoch.start(now)
+            quantum.start(now)
+        else:
+            epoch.end(now)
+            quantum.end(now)
+
+    def _on_epoch(self, owner: int) -> None:
+        now = self.now
+        self._epoch_count[owner] += 1
+        self._measuring = -1
+        for core in range(self.num_cores):
+            self._epoch_hit_time[core].set_gate(False, now)
+            self._epoch_miss_time[core].set_gate(False, now)
+
+    def _on_measure(self, owner: int) -> None:
+        now = self.now
+        self._measuring = owner
+        self._epoch_hit_time[owner].set_gate(True, now)
+        self._epoch_miss_time[owner].set_gate(True, now)
+
+    # ------------------------------------------------------------------
+    def estimate_slowdowns(self) -> List[float]:
+        assert self.system is not None
+        now = self.now
+        config = self.system.config
+        quantum = config.quantum_cycles
+        # Only the post-warm-up portion of each epoch is measured.
+        epoch_len = config.epoch_cycles - config.epoch_warmup_cycles
+        controller = self.system.controller
+        estimates: List[float] = []
+        llc_latency = config.llc.latency
+
+        for core in range(self.num_cores):
+            stats = AsmQuantumStats()
+            stats.quantum_cycles = quantum
+            stats.quantum_hits = self._hits[core]
+            stats.quantum_misses = self._misses[core]
+            q_hits = self._quantum_hit_time[core].read(now)
+            q_misses = self._quantum_miss_time[core].read(now)
+            stats.avg_hit_time = (
+                q_hits / self._hits[core] if self._hits[core] else float(llc_latency)
+            )
+            stats.avg_miss_time = (
+                q_misses / self._misses[core] if self._misses[core] else 0.0
+            )
+            stats.utility_curve = self.ats[core].utility_curve()
+            stats.car_shared = self._accesses[core] / quantum
+
+            epoch_hits = self._epoch_hits[core]
+            epoch_misses = self._epoch_misses[core]
+            epoch_accesses = epoch_hits + epoch_misses
+            prioritized = self._epoch_count[core] * epoch_len
+
+            if prioritized <= 0 or epoch_accesses == 0 or stats.car_shared == 0:
+                stats.slowdown = 1.0
+                estimates.append(stats.slowdown)
+                self.last_quantum[core] = stats
+                continue
+
+            # Epoch-scoped service times (alone-like, thanks to priority).
+            hit_time = self._epoch_hit_time[core].read(now)
+            miss_time = self._epoch_miss_time[core].read(now)
+            avg_hit = hit_time / epoch_hits if epoch_hits else float(llc_latency)
+            avg_miss = miss_time / epoch_misses if epoch_misses else 0.0
+            stats.alone_avg_miss_time = avg_miss
+
+            sampled_acc = self._epoch_sampled_ats_accesses[core]
+            if sampled_acc:
+                hit_fraction = self._epoch_sampled_ats_hits[core] / sampled_acc
+                # Contention misses (Section 4.4): estimate the ATS-vs-
+                # shared hit *difference* on the sampled sets and scale it.
+                # Differencing on the same sampled subset cancels the
+                # correlated sampling noise that differencing a sampled
+                # count against an exact count would amplify.
+                contention_fraction = max(
+                    0.0,
+                    (
+                        self._epoch_sampled_ats_hits[core]
+                        - self._epoch_sampled_shared_hits[core]
+                    )
+                    / sampled_acc,
+                )
+            else:
+                hit_fraction = 0.0
+                contention_fraction = 0.0
+            ats_hits = hit_fraction * epoch_accesses
+            ats_misses = epoch_accesses - ats_hits
+
+            contention_misses = contention_fraction * epoch_accesses
+            excess = contention_misses * max(0.0, avg_miss - avg_hit)
+
+            if self.queueing_correction:
+                queueing = (
+                    controller.queueing_cycles[core] - self._queueing_base[core]
+                )
+            else:
+                queueing = 0
+            avg_queueing_delay = queueing / epoch_misses if epoch_misses else 0.0
+
+            denom = prioritized - excess - ats_misses * avg_queueing_delay
+            if denom <= 0:
+                denom = max(1.0, 0.05 * prioritized)
+            stats.car_alone = epoch_accesses / denom
+            stats.slowdown = self.clamp_slowdown(stats.car_alone / stats.car_shared)
+            estimates.append(stats.slowdown)
+            self.last_quantum[core] = stats
+        return estimates
+
+    def reset_quantum(self) -> None:
+        assert self.system is not None
+        now = self.now
+        n = self.num_cores
+        self._accesses = [0] * n
+        self._hits = [0] * n
+        self._misses = [0] * n
+        self._epoch_count = [0] * n
+        self._epoch_hits = [0] * n
+        self._epoch_misses = [0] * n
+        self._epoch_sampled_ats_hits = [0] * n
+        self._epoch_sampled_shared_hits = [0] * n
+        self._epoch_sampled_ats_accesses = [0] * n
+        self._queueing_base = list(self.system.controller.queueing_cycles)
+        for core in range(n):
+            self._epoch_hit_time[core].reset(now)
+            self._epoch_miss_time[core].reset(now)
+            self._quantum_hit_time[core].reset(now)
+            self._quantum_miss_time[core].reset(now)
+            self.ats[core].reset_stats()
+
+    # ------------------------------------------------------------------
+    def car_for_ways(self, core: int, ways: int) -> float:
+        """Section 7.1's ``CAR_n``: estimated cache access rate of ``core``
+        had it been allocated ``ways`` LLC ways during the last quantum."""
+        stats = self.last_quantum[core]
+        accesses = stats.quantum_accesses
+        if accesses == 0 or not stats.utility_curve:
+            return 0.0
+        hits_n = stats.utility_curve[min(ways, len(stats.utility_curve) - 1)]
+        delta_hits = hits_n - stats.quantum_hits
+        service_gap = max(0.0, stats.avg_miss_time - stats.avg_hit_time)
+        cycles_n = stats.quantum_cycles - delta_hits * service_gap
+        if cycles_n <= 0:
+            cycles_n = max(1.0, 0.05 * stats.quantum_cycles)
+        return accesses / cycles_n
+
+    def slowdown_for_ways(self, core: int, ways: int) -> float:
+        """Estimated slowdown of ``core`` with an allocation of ``ways``."""
+        car_n = self.car_for_ways(core, ways)
+        if car_n <= 0:
+            return self.clamp_slowdown(float("inf"))
+        return self.clamp_slowdown(self.last_quantum[core].car_alone / car_n)

@@ -1,0 +1,105 @@
+"""Common machinery for online slowdown models.
+
+A model attaches to a :class:`repro.harness.system.System`, registers for
+the event streams it needs (LLC accesses, service intervals, DRAM
+completions, epoch assignments) and produces one slowdown estimate per core
+at each quantum boundary via :meth:`SlowdownModel.estimate_slowdowns`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.harness.system import System
+
+
+class OutstandingTracker:
+    """Counts cycles during which at least one event is outstanding.
+
+    This is the union semantics Table 1 specifies for ``epoch-hit-time`` /
+    ``epoch-miss-time`` ("# cycles during which the application has at
+    least one outstanding hit/miss"): overlapping requests do not double
+    count. The ``gate`` restricts accumulation to the application's epochs.
+    """
+
+    __slots__ = ("count", "gate_open", "busy_cycles", "_last_time")
+
+    def __init__(self, gate_open: bool = True) -> None:
+        self.count = 0
+        self.gate_open = gate_open
+        self.busy_cycles = 0
+        self._last_time = 0
+
+    def _settle(self, now: int) -> None:
+        if self.gate_open and self.count > 0 and now > self._last_time:
+            self.busy_cycles += now - self._last_time
+        self._last_time = now
+
+    def start(self, now: int) -> None:
+        self._settle(now)
+        self.count += 1
+
+    def end(self, now: int) -> None:
+        self._settle(now)
+        if self.count <= 0:
+            raise ValueError("end() without matching start()")
+        self.count -= 1
+
+    def set_gate(self, open_: bool, now: int) -> None:
+        self._settle(now)
+        self.gate_open = open_
+
+    def read(self, now: int) -> int:
+        self._settle(now)
+        return self.busy_cycles
+
+    def reset(self, now: int) -> None:
+        self._settle(now)
+        self.busy_cycles = 0
+        self._last_time = now
+
+
+class SlowdownModel:
+    """Base class: subclasses override the hooks they need."""
+
+    name = "base"
+    uses_epochs = False
+
+    def __init__(self) -> None:
+        self.system: Optional[System] = None
+        self.estimates_history: List[List[float]] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self, system: System) -> None:
+        """Register listeners on the system. Subclasses must call super()."""
+        self.system = system
+        system.quantum_listeners.append(self._on_quantum)
+
+    def _on_quantum(self) -> None:
+        estimates = self.estimate_slowdowns()
+        self.estimates_history.append(estimates)
+        self.reset_quantum()
+
+    # -- subclass API -----------------------------------------------------
+    def estimate_slowdowns(self) -> List[float]:
+        """Produce one slowdown estimate per core for the ending quantum."""
+        raise NotImplementedError
+
+    def reset_quantum(self) -> None:
+        """Clear per-quantum state (long-lived tag state is kept)."""
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        assert self.system is not None
+        return self.system.config.num_cores
+
+    @property
+    def now(self) -> int:
+        assert self.system is not None
+        return self.system.engine.now
+
+    @staticmethod
+    def clamp_slowdown(value: float, low: float = 1.0, high: float = 50.0) -> float:
+        """Slowdowns below 1 or absurdly high are estimation artefacts."""
+        return min(max(value, low), high)

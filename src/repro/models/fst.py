@@ -1,0 +1,98 @@
+"""FST [15]: Fairness via Source Throttling's slowdown estimator.
+
+FST computes slowdown as shared/alone execution time, estimating the alone
+time by subtracting, from the shared time, the cycles by which each request
+was delayed due to interference:
+
+* **memory**: per-request interference cycles from the controller, divided
+  by a parallelism factor (as in STFM);
+* **shared cache**: contention misses identified with a per-application
+  *pollution filter* — a (counting) Bloom filter of the application's
+  blocks evicted by other applications — each charged the average excess of
+  a miss over a hit.
+
+``filter_counters=None`` models the idealised exact filter the paper uses
+as the "unsampled" configuration; a finite size models the practical
+Bloom-filter build whose aliasing degrades accuracy (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.pollution_filter import PollutionFilter
+from repro.harness.system import System
+from repro.models.base import SlowdownModel
+from repro.models.perrequest import PerRequestAccounting
+
+
+class FstModel(SlowdownModel):
+    name = "fst"
+    uses_epochs = False
+
+    def __init__(self, filter_counters: Optional[int] = None) -> None:
+        super().__init__()
+        self.filter_counters = filter_counters
+        self.filters: List[PollutionFilter] = []
+        # Per-core alone miss latency estimated in the last quantum (the
+        # Fig 6 latency-distribution study reads this after the run).
+        self.last_alone_miss_latency: List[float] = []
+
+    def attach(self, system: System) -> None:
+        super().attach(system)
+        n = system.config.num_cores
+        self.filters = [PollutionFilter(self.filter_counters) for _ in range(n)]
+        self._contention_misses = [0] * n
+        self._accounting = PerRequestAccounting(system)
+        system.hierarchy.llc.add_eviction_listener(self._on_evict)
+        system.hierarchy.access_listeners.append(self._on_access)
+
+    def _on_evict(self, line_addr: int, owner: int, evictor: int) -> None:
+        if owner != evictor:
+            self.filters[owner].on_evicted_by_other(line_addr)
+
+    def _on_access(
+        self, core: int, line_addr: int, is_write: bool, hit: bool, now: int
+    ) -> None:
+        if hit:
+            return
+        if self.filters[core].is_contention_miss(line_addr):
+            self._contention_misses[core] += 1
+            self.filters[core].on_refetch(line_addr)
+
+    def estimate_slowdowns(self) -> List[float]:
+        assert self.system is not None
+        quantum = self.system.config.quantum_cycles
+        hit_latency = float(self.system.config.llc.latency)
+        estimates: List[float] = []
+        self.last_alone_miss_latency = [
+            self._accounting.avg_alone_miss_latency(core, default=float("nan"))
+            for core in range(self.num_cores)
+        ]
+        for core in range(self.num_cores):
+            # Each contention miss is charged its estimated *alone* miss
+            # cost over a hit; the excess overlaps like any other miss, so
+            # the same parallelism correction applies.
+            avg_alone_miss = self._accounting.avg_alone_miss_latency(
+                core, default=hit_latency
+            )
+            cache_excess = (
+                self._contention_misses[core]
+                * max(0.0, avg_alone_miss - hit_latency)
+                / self._accounting.parallelism(core)
+            )
+            interference = self._accounting.interference_cycles[core] + cache_excess
+            # A hardware interference counter increments at most once per
+            # cycle with an outstanding miss.
+            interference = min(
+                interference, self._accounting.miss_busy_cycles(core)
+            )
+            alone_time = quantum - interference
+            if alone_time <= 0:
+                alone_time = max(1.0, 0.02 * quantum)
+            estimates.append(self.clamp_slowdown(quantum / alone_time))
+        return estimates
+
+    def reset_quantum(self) -> None:
+        self._contention_misses = [0] * self.num_cores
+        self._accounting.reset()

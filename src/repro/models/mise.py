@@ -1,0 +1,79 @@
+"""MISE [66]: memory-interference-only slowdown estimation.
+
+MISE observes that a memory-bound application's performance is proportional
+to the rate at which its *main memory* requests are served, and estimates
+slowdown as the ratio of alone and shared request service rates, measuring
+the alone rate during highest-priority epochs. It shares ASM's epoch
+machinery but is blind to shared-cache capacity interference — the paper's
+Section 6.4 comparison (MISE 22% error vs ASM 9.9%) isolates exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.system import System
+from repro.mem.request import MemRequest
+from repro.models.base import SlowdownModel
+
+
+class MiseModel(SlowdownModel):
+    name = "mise"
+    uses_epochs = True
+
+    def attach(self, system: System) -> None:
+        super().attach(system)
+        n = system.config.num_cores
+        self._reads = [0] * n
+        self._epoch_reads = [0] * n
+        self._epoch_count = [0] * n
+        self._queueing_base = list(system.controller.queueing_cycles)
+        self._measuring = -1
+        system.controller.completion_listeners.append(self._on_completion)
+        system.epoch_listeners.append(self._on_epoch)
+        system.measure_listeners.append(self._on_measure)
+
+    def _on_completion(self, request: MemRequest) -> None:
+        if request.is_prefetch or request.is_write:
+            return
+        core = request.core
+        self._reads[core] += 1
+        if self._measuring == core:
+            self._epoch_reads[core] += 1
+
+    def _on_epoch(self, owner: int) -> None:
+        self._epoch_count[owner] += 1
+        self._measuring = -1
+
+    def _on_measure(self, owner: int) -> None:
+        self._measuring = owner
+
+    def estimate_slowdowns(self) -> List[float]:
+        assert self.system is not None
+        config = self.system.config
+        controller = self.system.controller
+        quantum = config.quantum_cycles
+        estimates: List[float] = []
+        # Only the post-warm-up portion of each epoch is measured.
+        epoch_len = config.epoch_cycles - config.epoch_warmup_cycles
+        for core in range(self.num_cores):
+            prioritized = self._epoch_count[core] * epoch_len
+            if self._reads[core] == 0 or prioritized == 0 or self._epoch_reads[core] == 0:
+                estimates.append(1.0)
+                continue
+            rsr_shared = self._reads[core] / quantum
+            queueing = controller.queueing_cycles[core] - self._queueing_base[core]
+            denom = prioritized - queueing
+            if denom <= 0:
+                denom = max(1.0, 0.05 * prioritized)
+            rsr_alone = self._epoch_reads[core] / denom
+            estimates.append(self.clamp_slowdown(rsr_alone / rsr_shared))
+        return estimates
+
+    def reset_quantum(self) -> None:
+        assert self.system is not None
+        n = self.num_cores
+        self._reads = [0] * n
+        self._epoch_reads = [0] * n
+        self._epoch_count = [0] * n
+        self._queueing_base = list(self.system.controller.queueing_cycles)

@@ -1,0 +1,116 @@
+"""PTCA [14]: per-thread cycle accounting.
+
+Like FST, PTCA subtracts per-request interference cycles from the shared
+execution time, but identifies contention misses with a per-application
+auxiliary tag store instead of a pollution filter. With a *sampled* ATS
+(the practical configuration), contention misses and their latencies are
+observed only on requests mapping to sampled sets and scaled up — the
+scaling of noisy per-request latencies is what makes sampled PTCA the least
+accurate model in the paper's Figure 3 (40.4% error).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.auxtag import AuxiliaryTagStore
+from repro.harness.system import System
+from repro.mem.request import MemRequest
+from repro.models.base import SlowdownModel
+from repro.models.perrequest import PerRequestAccounting
+
+
+class PtcaModel(SlowdownModel):
+    name = "ptca"
+    uses_epochs = False
+
+    def __init__(self, sampled_sets: Optional[int] = None) -> None:
+        super().__init__()
+        self.sampled_sets = sampled_sets
+        self.ats: List[AuxiliaryTagStore] = []
+        # Per-core alone miss latency estimated in the last quantum (the
+        # Fig 6 latency-distribution study reads this after the run).
+        self.last_alone_miss_latency: List[float] = []
+
+    def attach(self, system: System) -> None:
+        super().attach(system)
+        n = system.config.num_cores
+        self.ats = [
+            AuxiliaryTagStore(system.config.llc, self.sampled_sets) for _ in range(n)
+        ]
+        self._sampled_contention = [0] * n
+        self._sampled_accesses = [0] * n
+        self._total_accesses = [0] * n
+        # With sampling, PTCA can only observe requests to sampled sets:
+        # both their latencies and their interference cycles are measured
+        # on the sample and scaled up (Section 2.2).
+        latency_filter = self._request_is_sampled if self.sampled_sets else None
+        self._accounting = PerRequestAccounting(
+            system, latency_filter, filter_interference=True
+        )
+        system.hierarchy.access_listeners.append(self._on_access)
+
+    def _request_is_sampled(self, request: MemRequest) -> bool:
+        ats = self.ats[request.core]
+        set_index = request.line_addr % ats.num_sets
+        return set_index % ats.sample_stride == 0
+
+    def _on_access(
+        self, core: int, line_addr: int, is_write: bool, hit: bool, now: int
+    ) -> None:
+        self._total_accesses[core] += 1
+        outcome = self.ats[core].access(line_addr)
+        if not outcome.sampled:
+            return
+        self._sampled_accesses[core] += 1
+        if not hit and outcome.hit:
+            self._sampled_contention[core] += 1
+
+    def estimate_slowdowns(self) -> List[float]:
+        assert self.system is not None
+        quantum = self.system.config.quantum_cycles
+        hit_latency = float(self.system.config.llc.latency)
+        estimates: List[float] = []
+        self.last_alone_miss_latency = [
+            self._accounting.avg_alone_miss_latency(core, default=float("nan"))
+            for core in range(self.num_cores)
+        ]
+        for core in range(self.num_cores):
+            if self._sampled_accesses[core]:
+                scale = self._total_accesses[core] / self._sampled_accesses[core]
+            else:
+                scale = 1.0
+            contention = self._sampled_contention[core] * scale
+            avg_alone_miss = self._accounting.avg_alone_miss_latency(
+                core, default=hit_latency
+            )
+            cache_excess = (
+                contention
+                * max(0.0, avg_alone_miss - hit_latency)
+                / self._accounting.parallelism(core)
+            )
+            # Interference cycles were observed only on sampled-set
+            # requests; scale them to the full request stream.
+            memory_interference = self._accounting.interference_cycles[core]
+            if self.sampled_sets:
+                memory_interference *= scale
+            interference = memory_interference + cache_excess
+            # A hardware interference counter increments at most once per
+            # cycle with an outstanding miss.
+            interference = min(
+                interference, self._accounting.miss_busy_cycles(core)
+            )
+            alone_time = quantum - interference
+            if alone_time <= 0:
+                alone_time = max(1.0, 0.02 * quantum)
+            estimates.append(self.clamp_slowdown(quantum / alone_time))
+        return estimates
+
+    def reset_quantum(self) -> None:
+        n = self.num_cores
+        self._sampled_contention = [0] * n
+        self._sampled_accesses = [0] * n
+        self._total_accesses = [0] * n
+        self._accounting.reset()
+        for ats in self.ats:
+            ats.reset_stats()

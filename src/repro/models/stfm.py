@@ -1,0 +1,58 @@
+"""STFM [46]: stall-time fair memory scheduling's slowdown estimator.
+
+STFM estimates slowdown as the ratio of shared to alone memory stall time,
+computing the alone stall time by subtracting per-request interference
+cycles (with a parallelism fudge factor) from the measured shared stall
+time. It predates shared-cache awareness entirely; included as a secondary
+baseline and for the repo's completeness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.system import System
+from repro.models.base import OutstandingTracker, SlowdownModel
+from repro.models.perrequest import PerRequestAccounting
+
+
+class StfmModel(SlowdownModel):
+    name = "stfm"
+    uses_epochs = False
+
+    def attach(self, system: System) -> None:
+        super().attach(system)
+        n = system.config.num_cores
+        self._stall = [OutstandingTracker() for _ in range(n)]
+        self._accounting = PerRequestAccounting(system)
+        system.hierarchy.service_listeners.append(self._on_service)
+
+    def _on_service(self, core: int, is_hit: bool, is_start: bool, now: int) -> None:
+        if is_hit:
+            return
+        if is_start:
+            self._stall[core].start(now)
+        else:
+            self._stall[core].end(now)
+
+    def estimate_slowdowns(self) -> List[float]:
+        assert self.system is not None
+        now = self.now
+        quantum = self.system.config.quantum_cycles
+        estimates: List[float] = []
+        for core in range(self.num_cores):
+            shared_stall = self._stall[core].read(now)
+            interference = self._accounting.interference_cycles[core]
+            alone_stall = max(0.0, shared_stall - interference)
+            compute = quantum - shared_stall
+            alone_time = compute + alone_stall
+            if alone_time <= 0:
+                alone_time = max(1.0, 0.02 * quantum)
+            estimates.append(self.clamp_slowdown(quantum / alone_time))
+        return estimates
+
+    def reset_quantum(self) -> None:
+        now = self.now
+        for tracker in self._stall:
+            tracker.reset(now)
+        self._accounting.reset()

@@ -1,0 +1,23 @@
+"""Resource-management policies built on slowdown estimates (Section 7) and
+the prior-work baselines they are compared against."""
+
+from repro.policies.partition import lookahead_partition
+from repro.policies.base import Policy
+from repro.policies.ucp import UcpPolicy
+from repro.policies.asm_cache import AsmCachePolicy
+from repro.policies.mcfq import McfqPolicy
+from repro.policies.asm_mem import AsmMemPolicy
+from repro.policies.qos import AsmQosPolicy, NaiveQosPolicy
+from repro.policies.combined import AsmCacheMemPolicy
+
+__all__ = [
+    "lookahead_partition",
+    "Policy",
+    "UcpPolicy",
+    "AsmCachePolicy",
+    "McfqPolicy",
+    "AsmMemPolicy",
+    "AsmQosPolicy",
+    "NaiveQosPolicy",
+    "AsmCacheMemPolicy",
+]

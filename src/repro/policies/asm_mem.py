@@ -1,0 +1,39 @@
+"""ASM-Mem (Section 7.2): slowdown-proportional bandwidth partitioning.
+
+At the end of each quantum, every application's slowdown estimate from ASM
+becomes its probability mass for epoch assignment in the next quantum:
+
+::
+
+    P(epoch -> A_i) = slowdown(A_i) / sum_k slowdown(A_k)
+
+so more-slowed-down applications receive highest memory priority more
+often. This is the reason ASM assigns epochs probabilistically rather than
+round-robin in the first place (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.harness.system import System
+from repro.models.asm import AsmModel
+from repro.policies.base import Policy
+
+
+class AsmMemPolicy(Policy):
+    name = "asm-mem"
+
+    def __init__(self, asm: AsmModel) -> None:
+        super().__init__()
+        self.asm = asm
+
+    def attach(self, system: System) -> None:
+        if self.asm.system is not system:
+            raise ValueError("the AsmModel must be attached to the same system")
+        super().attach(system)
+
+    def on_quantum_end(self) -> None:
+        assert self.system is not None
+        if not self.asm.estimates_history:
+            return
+        slowdowns = self.asm.estimates_history[-1]
+        self.system.set_epoch_weights(slowdowns)

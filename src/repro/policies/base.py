@@ -1,0 +1,32 @@
+"""Policy interface: a policy attaches to a system and reconfigures shared
+resources (cache partition, epoch probabilities) at each quantum boundary,
+after the slowdown models have produced their estimates."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.harness.system import System
+
+
+class Policy:
+    """Base class for quantum-granularity resource managers."""
+
+    name = "policy"
+
+    def __init__(self) -> None:
+        self.system: Optional[System] = None
+
+    def attach(self, system: System) -> None:
+        """Register on the system. Policies are attached *after* models so
+        their quantum hook runs once fresh estimates are available."""
+        self.system = system
+        system.quantum_listeners.append(self.on_quantum_end)
+
+    def on_quantum_end(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def num_cores(self) -> int:
+        assert self.system is not None
+        return self.system.config.num_cores

@@ -1,0 +1,39 @@
+"""ASM-Cache-Mem (Section 7.2): coordinated cache + bandwidth partitioning.
+
+Runs ASM-Cache's slowdown-aware way partitioning, then conveys the
+slowdowns *projected under the granted allocations* to the memory
+controller, which partitions bandwidth (epoch-assignment probabilities)
+proportionally to them, as in ASM-Mem.
+"""
+
+from __future__ import annotations
+
+from repro.harness.system import System
+from repro.models.asm import AsmModel
+from repro.policies.asm_cache import AsmCachePolicy
+from repro.policies.base import Policy
+
+
+class AsmCacheMemPolicy(Policy):
+    name = "asm-cache-mem"
+
+    def __init__(self, asm: AsmModel) -> None:
+        super().__init__()
+        self.asm = asm
+        self.cache_policy = AsmCachePolicy(asm)
+
+    def attach(self, system: System) -> None:
+        if self.asm.system is not system:
+            raise ValueError("the AsmModel must be attached to the same system")
+        # Register only ourselves; we drive the cache policy manually so the
+        # ordering (partition first, then bandwidth weights) is explicit.
+        self.system = system
+        self.cache_policy.system = system
+        system.quantum_listeners.append(self.on_quantum_end)
+
+    def on_quantum_end(self) -> None:
+        assert self.system is not None
+        self.cache_policy.on_quantum_end()
+        projected = self.cache_policy.projected_slowdowns
+        if projected and sum(projected) > 0:
+            self.system.set_epoch_weights(projected)

@@ -1,0 +1,77 @@
+"""MCFQ-style cache partitioning [27].
+
+Kaseridis et al.'s scheme allocates shared-cache capacity considering both
+*cache friendliness* (how well an application converts capacity into hits)
+and *memory-level parallelism* (an MLP-rich application hides misses, so
+its hits are worth less). We reproduce its decision structure: the UCP
+utility of each application is weighted by ``1 / mlp``, so cache-friendly,
+MLP-poor applications win capacity.
+
+The paper's criticism (Section 7.1.2): MCFQ still ignores memory
+*bandwidth* interference, so under memory-intensive workloads its
+allocations can degrade fairness — exactly the behaviour to look for in
+the Figure 9 reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.auxtag import AuxiliaryTagStore
+from repro.harness.system import System
+from repro.models.perrequest import MlpEstimator
+from repro.policies.base import Policy
+from repro.policies.partition import lookahead_partition
+
+
+class McfqPolicy(Policy):
+    name = "mcfq"
+
+    def __init__(self, sampled_sets: Optional[int] = 32) -> None:
+        super().__init__()
+        self.sampled_sets = sampled_sets
+        self.monitors: List[AuxiliaryTagStore] = []
+        self._mlp: List[MlpEstimator] = []
+        self.last_allocation: Optional[List[int]] = None
+
+    def attach(self, system: System) -> None:
+        super().attach(system)
+        n = system.config.num_cores
+        self.monitors = [
+            AuxiliaryTagStore(system.config.llc, self.sampled_sets)
+            for _ in range(n)
+        ]
+        self._mlp = [MlpEstimator() for _ in range(n)]
+        system.hierarchy.access_listeners.append(self._on_access)
+        system.hierarchy.service_listeners.append(self._on_service)
+
+    def _on_access(
+        self, core: int, line_addr: int, is_write: bool, hit: bool, now: int
+    ) -> None:
+        self.monitors[core].access(line_addr)
+
+    def _on_service(self, core: int, is_hit: bool, is_start: bool, now: int) -> None:
+        if is_hit:
+            return
+        if is_start:
+            self._mlp[core].start(now)
+        else:
+            self._mlp[core].end(now)
+
+    def on_quantum_end(self) -> None:
+        assert self.system is not None
+        now = self.system.engine.now
+        curves = []
+        for core in range(self.num_cores):
+            weight = 1.0 / self._mlp[core].parallelism(now)
+            curves.append(
+                [hits * weight for hits in self.monitors[core].utility_curve()]
+            )
+        allocation = lookahead_partition(
+            curves, self.system.config.llc.associativity
+        )
+        self.last_allocation = allocation
+        self.system.hierarchy.llc.set_partition(allocation)
+        for core in range(self.num_cores):
+            self.monitors[core].reset_stats()
+            self._mlp[core].reset(now)

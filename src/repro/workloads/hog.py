@@ -1,0 +1,36 @@
+"""The cache/memory hog co-runner used in the Figure 1 validation.
+
+The paper runs each application of interest next to a "memory bandwidth /
+cache capacity hog" whose behaviour is varied to cause different amounts of
+interference. ``hog_spec`` reproduces that knob: ``intensity`` in [0, 1]
+sweeps the hog from near-idle to a full-rate streaming+thrashing program,
+and ``cache_pressure`` shifts its accesses from pure streaming (bandwidth
+pressure) towards LLC-sized reuse (capacity pressure).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import AppSpec
+
+MAX_HOG_APKI = 50.0
+
+
+def hog_spec(intensity: float, cache_pressure: float = 0.5) -> AppSpec:
+    """Build a hog with the given intensity and cache-pressure mix."""
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    if not 0.0 <= cache_pressure <= 1.0:
+        raise ValueError("cache_pressure must be in [0, 1]")
+    apki = max(0.1, MAX_HOG_APKI * intensity)
+    # Higher cache pressure -> more reuse at LLC-scale popularity depths,
+    # which occupies capacity; lower -> pure streaming bandwidth pressure.
+    return AppSpec(
+        name=f"hog-i{intensity:.2f}-c{cache_pressure:.2f}",
+        suite="hog",
+        apki=apki,
+        reuse_prob=0.5 * cache_pressure,
+        reuse_depth=max(1, int(3_000 * cache_pressure)),
+        footprint_lines=500_000,
+        seq_frac=0.9 * (1.0 - cache_pressure) + 0.05,
+        write_frac=0.2,
+    )

@@ -1,0 +1,84 @@
+"""Trace file I/O.
+
+Synthetic traces are generated on the fly, but a downstream user may want
+to run the simulator on *recorded* traces — e.g. post-L1 access streams
+captured from real hardware or another simulator. The format is a plain
+text file, one record per line::
+
+    <gap> <line_addr_hex> <R|W>
+
+with ``#`` comments and blank lines ignored. Files gzip automatically when
+the path ends in ``.gz``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.cpu.trace import TraceRecord
+
+PathLike = Union[str, Path]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def save_trace(records: Iterable[TraceRecord], path: PathLike, limit: int = 0) -> int:
+    """Write ``records`` (optionally at most ``limit``) to ``path``.
+
+    Returns the number of records written.
+    """
+    path = Path(path)
+    if limit:
+        records = itertools.islice(records, limit)
+    count = 0
+    with _open(path, "w") as handle:
+        handle.write("# repro trace v1: <gap> <line_addr_hex> <R|W>\n")
+        for record in records:
+            kind = "W" if record.is_write else "R"
+            handle.write(f"{record.gap} {record.line_addr:x} {kind}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike, loop: bool = False) -> Iterator[TraceRecord]:
+    """Yield the records stored in ``path``.
+
+    With ``loop=True`` the trace restarts from the beginning when
+    exhausted (an infinite iterator, like the synthetic generators).
+    """
+    path = Path(path)
+
+    def read_once() -> Iterator[TraceRecord]:
+        with _open(path, "r") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 3 or parts[2] not in ("R", "W"):
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed trace record {line!r}"
+                    )
+                yield TraceRecord(
+                    gap=int(parts[0]),
+                    line_addr=int(parts[1], 16),
+                    is_write=parts[2] == "W",
+                )
+
+    if not loop:
+        yield from read_once()
+        return
+    while True:
+        empty = True
+        for record in read_once():
+            empty = False
+            yield record
+        if empty:
+            raise ValueError(f"{path} contains no records; cannot loop")

@@ -1,0 +1,28 @@
+"""Shared fixtures: small, fast system configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, CoreConfig, DramConfig, SystemConfig
+
+
+@pytest.fixture
+def small_cache_config() -> CacheConfig:
+    # 64 sets x 4 ways x 64B = 16KB
+    return CacheConfig(size_bytes=16 * 1024, associativity=4, latency=20)
+
+
+@pytest.fixture
+def small_system_config() -> SystemConfig:
+    """A deliberately tiny platform so unit/integration tests run fast."""
+    return SystemConfig(
+        num_cores=2,
+        core=CoreConfig(),
+        l1=CacheConfig(size_bytes=8 * 1024, associativity=2, latency=1),
+        llc=CacheConfig(size_bytes=32 * 1024, associativity=8, latency=20),
+        dram=DramConfig(),
+        quantum_cycles=100_000,
+        epoch_cycles=5_000,
+        ats_sampled_sets=8,
+    )

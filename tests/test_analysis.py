@@ -1,0 +1,79 @@
+"""Tests for the analysis package (charts, paper targets, report)."""
+
+import pytest
+
+from repro.analysis.ascii_chart import bar_chart, grouped_bar_chart
+from repro.analysis.paper_targets import PAPER_TARGETS, target_for
+from repro.analysis.report import _FILE_TO_TARGET, build_report
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart({"asm": 10.0, "fst": 20.0}, width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+    assert "20.00" in lines[1]
+
+
+def test_bar_chart_zero_values():
+    chart = bar_chart({"a": 0.0, "b": 0.0})
+    assert "#" not in chart
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart({})
+    with pytest.raises(ValueError):
+        bar_chart({"a": -1.0})
+    with pytest.raises(ValueError):
+        bar_chart({"a": 1.0}, width=0)
+
+
+def test_grouped_chart_shares_scale():
+    chart = grouped_bar_chart(
+        {"g1": {"a": 10.0}, "g2": {"a": 20.0}}, width=10
+    )
+    lines = [l for l in chart.splitlines() if "#" in l]
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_paper_targets_cover_every_experiment_file():
+    for stem, key in _FILE_TO_TARGET.items():
+        if key is not None:
+            assert key in PAPER_TARGETS, stem
+
+
+def test_target_for():
+    fig3 = target_for("fig03")
+    assert fig3 is not None
+    assert fig3.numbers["ptca"] == pytest.approx(40.4)
+    assert target_for("unknown") is None
+
+
+def test_headline_paper_numbers():
+    """Pin the transcribed headline numbers (typo guard)."""
+    assert PAPER_TARGETS["fig02"].numbers == {
+        "asm": 9.0, "ptca": 14.7, "fst": 18.5
+    }
+    assert PAPER_TARGETS["sec64"].numbers["mise"] == 22.0
+    assert PAPER_TARGETS["fig04"].numbers["asm_max"] == 36.0
+
+
+def test_build_report(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig02_error_unsampled.txt").write_text("table here\n")
+    out = tmp_path / "REPORT.md"
+    report = build_report(results, out)
+    assert "fig02_error_unsampled" in report
+    assert "table here" in report
+    assert "Paper numbers" in report
+    assert out.read_text() == report
+
+
+def test_build_report_requires_outputs(tmp_path):
+    empty = tmp_path / "results"
+    empty.mkdir()
+    with pytest.raises(FileNotFoundError):
+        build_report(empty, output=None)

@@ -1,0 +1,133 @@
+"""White-box tests of the ASM arithmetic (Section 4.2/4.3 formulas).
+
+These inject crafted counter values into an attached AsmModel and verify
+the estimate matches the paper's equations computed by hand — independent
+of simulator behaviour.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import scaled_config
+from repro.harness.system import System
+from repro.models.asm import AsmModel
+from repro.workloads.mixes import make_mix
+
+
+@pytest.fixture
+def attached_asm():
+    config = dataclasses.replace(
+        scaled_config().with_quantum(100_000, 5_000),
+        epoch_warmup_cycles=0,
+        num_cores=2,
+    )
+    mix = make_mix(["gcc", "mcf"], seed=1)
+    system = System(config, mix.traces(), seed=1)
+    asm = AsmModel(sampled_sets=None)
+    asm.attach(system)
+    return system, asm, config
+
+
+def _inject(asm, core, *, epochs, hits, misses, ats_hits, hit_time,
+            miss_time, accesses, queueing=0):
+    asm._epoch_count[core] = epochs
+    asm._epoch_hits[core] = hits
+    asm._epoch_misses[core] = misses
+    asm._epoch_sampled_ats_accesses[core] = hits + misses
+    asm._epoch_sampled_ats_hits[core] = ats_hits
+    asm._epoch_sampled_shared_hits[core] = hits
+    asm._epoch_hit_time[core].busy_cycles = hit_time
+    asm._epoch_miss_time[core].busy_cycles = miss_time
+    asm._accesses[core] = accesses
+    asm.system.controller.queueing_cycles[core] = (
+        asm._queueing_base[core] + queueing
+    )
+
+
+def test_formula_without_corrections(attached_asm):
+    system, asm, config = attached_asm
+    E = config.epoch_cycles
+    # 4 epochs, 100 hits + 100 misses during them, no contention (ats_hits
+    # == shared hits), no queueing: CAR_alone = 200 / (4 * 5000).
+    _inject(asm, 0, epochs=4, hits=100, misses=100, ats_hits=100,
+            hit_time=2000, miss_time=15000, accesses=1000)
+    estimates = asm.estimate_slowdowns()
+    car_alone = 200 / (4 * E)
+    car_shared = 1000 / config.quantum_cycles
+    assert estimates[0] == pytest.approx(max(1.0, car_alone / car_shared))
+
+
+def test_formula_with_contention_excess(attached_asm):
+    system, asm, config = attached_asm
+    E = config.epoch_cycles
+    # 50 contention misses (ats_hits 150 vs 100 shared hits);
+    # avg_miss = 15000/100 = 150, avg_hit = 2000/100 = 20 -> excess 50*130.
+    _inject(asm, 0, epochs=4, hits=100, misses=100, ats_hits=150,
+            hit_time=2000, miss_time=15000, accesses=1000)
+    estimates = asm.estimate_slowdowns()
+    excess = 50 * (150 - 20)
+    denom = 4 * E - excess
+    expected = (200 / denom) / (1000 / config.quantum_cycles)
+    assert estimates[0] == pytest.approx(expected)
+
+
+def test_formula_with_queueing_correction(attached_asm):
+    system, asm, config = attached_asm
+    E = config.epoch_cycles
+    # No contention, 1000 queueing cycles over 100 misses -> qd = 10;
+    # ats_misses = 100 (hit fraction 0.5 of 200 accesses).
+    _inject(asm, 0, epochs=4, hits=100, misses=100, ats_hits=100,
+            hit_time=2000, miss_time=15000, accesses=1000, queueing=1000)
+    estimates = asm.estimate_slowdowns()
+    ats_misses = 200 * (1 - 100 / 200)
+    denom = 4 * E - ats_misses * (1000 / 100)
+    expected = (200 / denom) / (1000 / config.quantum_cycles)
+    assert estimates[0] == pytest.approx(expected)
+
+
+def test_queueing_correction_disabled(attached_asm):
+    system, asm, config = attached_asm
+    asm.queueing_correction = False
+    _inject(asm, 0, epochs=4, hits=100, misses=100, ats_hits=100,
+            hit_time=2000, miss_time=15000, accesses=1000, queueing=1000)
+    estimates = asm.estimate_slowdowns()
+    expected = (200 / (4 * config.epoch_cycles)) / (
+        1000 / config.quantum_cycles
+    )
+    assert estimates[0] == pytest.approx(max(1.0, expected))
+
+
+def test_no_epochs_yields_neutral_estimate(attached_asm):
+    _, asm, _ = attached_asm
+    estimates = asm.estimate_slowdowns()
+    assert estimates == [1.0, 1.0]
+
+
+def test_degenerate_denominator_clamped(attached_asm):
+    system, asm, config = attached_asm
+    # Absurd contention: excess would exceed the prioritised cycles.
+    _inject(asm, 0, epochs=1, hits=10, misses=1000, ats_hits=1010,
+            hit_time=100, miss_time=500_000, accesses=2000)
+    estimates = asm.estimate_slowdowns()
+    assert 1.0 <= estimates[0] <= 50.0
+
+
+def test_car_for_ways_formula(attached_asm):
+    system, asm, config = attached_asm
+    stats = asm.last_quantum[0]
+    stats.quantum_hits = 100
+    stats.quantum_misses = 100
+    stats.avg_hit_time = 20.0
+    stats.avg_miss_time = 220.0
+    stats.quantum_cycles = config.quantum_cycles
+    # hits_with_ways(n): 0 hits at 0 ways, 150 at full ways.
+    stats.utility_curve = [0.0] + [150.0] * config.llc.associativity
+    # With full ways: delta_hits = 50, cycles = Q - 50*200.
+    car = asm.car_for_ways(0, config.llc.associativity)
+    expected = 200 / (config.quantum_cycles - 50 * 200)
+    assert car == pytest.approx(expected)
+    # With 0 ways: delta_hits = -100 -> cycles grow.
+    car0 = asm.car_for_ways(0, 0)
+    expected0 = 200 / (config.quantum_cycles + 100 * 200)
+    assert car0 == pytest.approx(expected0)

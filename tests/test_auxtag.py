@@ -1,0 +1,120 @@
+"""Unit tests for the auxiliary tag store."""
+
+import pytest
+
+from repro.cache.auxtag import AuxiliaryTagStore
+from repro.cache.cache import SetAssocCache
+from repro.config import CacheConfig
+
+
+@pytest.fixture
+def config(small_cache_config):
+    return small_cache_config  # 64 sets x 4 ways
+
+
+def test_full_ats_mirrors_alone_cache(config):
+    """An unsampled ATS fed one app's stream must agree, access by access,
+    with a real cache running that app alone — the defining property."""
+    import random
+
+    rng = random.Random(1)
+    ats = AuxiliaryTagStore(config)
+    cache = SetAssocCache(config)
+    for _ in range(5000):
+        line = rng.randrange(500)
+        outcome = ats.access(line)
+        result = cache.access(line)
+        assert outcome.sampled
+        assert outcome.hit == result.hit
+
+
+def test_way_hit_histogram_cumulates_to_hits(config):
+    import random
+
+    rng = random.Random(2)
+    ats = AuxiliaryTagStore(config)
+    for _ in range(3000):
+        ats.access(rng.randrange(400))
+    assert sum(ats.way_hits) == ats.sampled_hits
+    # hits_with_ways at full associativity equals all hits.
+    assert ats.hits_with_ways(config.associativity) == pytest.approx(
+        ats.sampled_hits
+    )
+
+
+def test_utility_curve_monotone(config):
+    import random
+
+    rng = random.Random(3)
+    ats = AuxiliaryTagStore(config)
+    for _ in range(3000):
+        ats.access(rng.randrange(600))
+    curve = ats.utility_curve()
+    assert len(curve) == config.associativity + 1
+    assert curve[0] == 0.0
+    assert all(curve[i] <= curve[i + 1] for i in range(len(curve) - 1))
+
+
+def test_sampling_selects_subset_of_sets(config):
+    ats = AuxiliaryTagStore(config, sampled_sets=8)
+    assert ats.is_sampled
+    assert ats.num_sampled_sets == 8
+    sampled = [ats.access(s).sampled for s in range(config.num_sets)]
+    assert sum(sampled) == 8
+    # Sampled sets are stride-spaced.
+    assert ats.access(0).sampled
+    assert not ats.access(1).sampled
+
+
+def test_sampled_scaling(config):
+    import random
+
+    rng = random.Random(4)
+    ats = AuxiliaryTagStore(config, sampled_sets=8)
+    for _ in range(8000):
+        ats.access(rng.randrange(300))
+    assert ats.total_accesses == 8000
+    # scaled hits + scaled misses == total accesses
+    assert ats.scaled_hits() + ats.scaled_misses() == pytest.approx(8000)
+    # Hit fraction on a uniform stream extrapolates within a loose band.
+    full = AuxiliaryTagStore(config)
+    rng = random.Random(4)
+    for _ in range(8000):
+        full.access(rng.randrange(300))
+    assert ats.hit_fraction() == pytest.approx(full.hit_fraction(), abs=0.1)
+
+
+def test_sampled_hit_accuracy_against_full(config):
+    """Section 4.4: sampling should track the full ATS hit fraction."""
+    import random
+
+    rng = random.Random(5)
+    stream = [rng.randrange(1000) if rng.random() < 0.5 else rng.randrange(5000)
+              for _ in range(20000)]
+    full = AuxiliaryTagStore(config)
+    sampled = AuxiliaryTagStore(config, sampled_sets=8)
+    for line in stream:
+        full.access(line)
+        sampled.access(line)
+    assert sampled.hit_fraction() == pytest.approx(full.hit_fraction(), abs=0.08)
+
+
+def test_reset_stats_preserves_tag_state(config):
+    ats = AuxiliaryTagStore(config)
+    ats.access(7)
+    ats.reset_stats()
+    assert ats.total_accesses == 0
+    outcome = ats.access(7)
+    assert outcome.hit, "tag state must survive quantum resets"
+
+
+def test_invalid_sampled_sets(config):
+    with pytest.raises(ValueError):
+        AuxiliaryTagStore(config, sampled_sets=0)
+
+
+def test_hits_with_zero_ways_is_zero(config):
+    ats = AuxiliaryTagStore(config)
+    ats.access(1)
+    ats.access(1)
+    assert ats.hits_with_ways(0) == 0.0

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DESCRIPTIONS, EXPERIMENTS, build_parser, main
+
+
+def test_every_experiment_has_a_description():
+    assert set(EXPERIMENTS) == set(DESCRIPTIONS)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figNaN"])
+
+
+def test_db_experiment_end_to_end(capsys, tmp_path):
+    out_file = tmp_path / "db.txt"
+    code = main(["db", "--mixes", "1", "--quanta", "1", "--out", str(out_file)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "mean_err%" in printed
+    assert out_file.read_text().strip()
+
+
+def test_fig11_experiment_runs(capsys):
+    assert main(["fig11", "--quanta", "1"]) == 0
+    assert "naive-qos" in capsys.readouterr().out

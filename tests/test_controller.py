@@ -1,0 +1,144 @@
+"""Unit tests for the memory controller."""
+
+import pytest
+
+from repro.config import DramConfig
+from repro.engine import Engine
+from repro.mem.controller import MemoryController, WRITE_DRAIN_WATERMARK
+from repro.mem.request import MemRequest
+
+
+@pytest.fixture
+def setup():
+    engine = Engine()
+    controller = MemoryController(engine, DramConfig(), num_cores=2)
+    return engine, controller
+
+
+def _read(core, line, callback=None):
+    return MemRequest(core=core, line_addr=line, callback=callback)
+
+
+def test_single_read_completes_with_closed_row_latency(setup):
+    engine, controller = setup
+    done = []
+    request = _read(0, 0, callback=lambda r: done.append(r.completion_time))
+    request.arrival_time = 0
+    controller.enqueue(request)
+    engine.run()
+    dram = controller.config
+    assert done == [dram.trcd + dram.cas_latency + dram.burst_time]
+    assert controller.reads_issued[0] == 1
+    assert controller.row_misses[0] == 1
+
+
+def test_row_hits_counted(setup):
+    engine, controller = setup
+    for line in range(4):  # same row
+        controller.enqueue(_read(0, line))
+    engine.run()
+    assert controller.row_hits[0] == 3
+    assert controller.row_misses[0] == 1
+
+
+def test_completion_listeners_see_reads_not_writes(setup):
+    engine, controller = setup
+    seen = []
+    controller.completion_listeners.append(lambda r: seen.append(r))
+    controller.enqueue(_read(0, 0))
+    controller.enqueue(MemRequest(core=1, line_addr=1000, is_write=True))
+    engine.run()
+    assert len(seen) == 1 and not seen[0].is_write
+
+
+def test_priority_core_served_first(setup):
+    engine, controller = setup
+    order = []
+    # Two requests to the same bank, different rows; core 1 arrives later
+    # but has priority.
+    mapping = controller.mapping
+    stride = mapping.lines_per_row * controller.config.banks_per_rank
+    controller.set_priority_core(1)
+    first = _read(0, 0, callback=lambda r: order.append(0))
+    second = _read(1, stride, callback=lambda r: order.append(1))
+    first.arrival_time = 0
+    second.arrival_time = 0
+    # Enqueue both before the engine runs: the controller wakes once.
+    controller.enqueue(first)
+    controller.enqueue(second)
+    engine.run()
+    assert order[0] == 1
+
+
+def test_interference_attributed_to_waiting_request(setup):
+    engine, controller = setup
+    mapping = controller.mapping
+    stride = mapping.lines_per_row * controller.config.banks_per_rank
+    a = _read(0, 0)
+    b = _read(1, stride)  # same bank, other core
+    controller.enqueue(a)
+    controller.enqueue(b)
+    engine.run()
+    assert b.interference_cycles > 0
+    assert a.interference_cycles == 0
+
+
+def test_no_interference_between_same_core_requests(setup):
+    engine, controller = setup
+    mapping = controller.mapping
+    stride = mapping.lines_per_row * controller.config.banks_per_rank
+    a = _read(0, 0)
+    b = _read(0, stride)
+    controller.enqueue(a)
+    controller.enqueue(b)
+    engine.run()
+    assert b.interference_cycles == 0
+
+
+def test_queueing_cycles_accrue_for_priority_core(setup):
+    engine, controller = setup
+    mapping = controller.mapping
+    stride = mapping.lines_per_row * controller.config.banks_per_rank
+    # Core 0's request occupies the bank; then core 1 (priority) waits.
+    controller.enqueue(_read(0, 0))
+    engine.run()
+    controller.set_priority_core(1)
+    blocker = _read(0, 2 * stride)
+    controller.enqueue(blocker)
+    # Let the blocker win the bank before the priority request arrives.
+    engine.run(until=engine.now + 1)
+    waiter = _read(1, stride)
+    waiter.arrival_time = engine.now
+    controller.enqueue(waiter)
+    engine.run()
+    assert controller.queueing_cycles[1] > 0
+
+
+def test_write_drain_at_watermark(setup):
+    engine, controller = setup
+    # Stuff the write queue past the watermark; writes must issue even
+    # though reads keep arriving.
+    for i in range(WRITE_DRAIN_WATERMARK + 4):
+        controller.enqueue(MemRequest(core=0, line_addr=i * 128, is_write=True))
+    controller.enqueue(_read(1, 1))
+    engine.run()
+    assert not controller.write_queues[0]
+    assert not controller.read_queues[0]
+
+
+def test_outstanding_reads(setup):
+    engine, controller = setup
+    controller.enqueue(_read(0, 0))
+    controller.enqueue(_read(0, 64))
+    assert controller.outstanding_reads(0) == 2
+    engine.run()
+    assert controller.outstanding_reads(0) == 0
+
+
+def test_reset_stats(setup):
+    engine, controller = setup
+    controller.enqueue(_read(0, 0))
+    engine.run()
+    controller.reset_stats()
+    assert controller.reads_issued == [0, 0]
+    assert controller.queueing_cycles == [0, 0]

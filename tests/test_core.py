@@ -1,0 +1,140 @@
+"""Unit tests for the trace-driven core model."""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.cpu.core import Core
+from repro.cpu.trace import TraceRecord
+from repro.engine import Engine
+
+
+class FakeHierarchy:
+    """Deterministic memory backend: hits after ``latency`` cycles, or
+    deferred completions released manually (for miss modelling)."""
+
+    def __init__(self, engine: Engine, latency: int = 20, defer: bool = False):
+        self.engine = engine
+        self.latency = latency
+        self.defer = defer
+        self.pending: List = []
+        self.accesses: List = []
+
+    def access(self, core, line_addr, is_write, on_complete):
+        self.accesses.append((self.engine.now, line_addr, is_write))
+        if not self.defer:
+            return self.engine.now + self.latency
+        self.pending.append(on_complete)
+        return None
+
+    def release_all(self, at_time):
+        for callback in self.pending:
+            self.engine.schedule_at(at_time, lambda cb=callback, t=at_time: cb(t))
+        self.pending = []
+
+
+def _trace(records):
+    return iter([TraceRecord(*r) for r in records])
+
+
+def test_issue_width_paces_compute(small_system_config):
+    engine = Engine()
+    hierarchy = FakeHierarchy(engine, latency=1)
+    # 10 records of 299 compute instructions each: 100 cycles of frontend
+    # per record at width 3.
+    records = [(299, i, False) for i in range(10)]
+    core = Core(engine, 0, CoreConfig(issue_width=3), _trace(records), hierarchy.access)
+    core.start()
+    engine.run()
+    issue_times = [t for t, _, _ in hierarchy.accesses]
+    assert issue_times[1] - issue_times[0] == 100
+    assert core.position == 10 * 300
+
+
+def test_window_limits_outstanding_misses():
+    engine = Engine()
+    hierarchy = FakeHierarchy(engine, defer=True)
+    # Zero-gap loads: the 128-entry window holds at most 128 instructions.
+    records = [(0, i, False) for i in range(300)]
+    config = CoreConfig(window_size=128, mshr_entries=1000)
+    core = Core(engine, 0, config, _trace(records), hierarchy.access)
+    core.start()
+    engine.run(until=1000)
+    assert len(hierarchy.pending) == 128
+
+
+def test_mshr_limits_outstanding_misses():
+    engine = Engine()
+    hierarchy = FakeHierarchy(engine, defer=True)
+    records = [(0, i, False) for i in range(100)]
+    config = CoreConfig(window_size=1000, mshr_entries=8)
+    core = Core(engine, 0, config, _trace(records), hierarchy.access)
+    core.start()
+    engine.run(until=1000)
+    assert len(hierarchy.pending) == 8
+
+
+def test_fill_unblocks_core():
+    engine = Engine()
+    hierarchy = FakeHierarchy(engine, defer=True)
+    records = [(0, i, False) for i in range(200)]
+    config = CoreConfig(window_size=64, mshr_entries=64)
+    core = Core(engine, 0, config, _trace(records), hierarchy.access)
+    core.start()
+    engine.run(until=500)
+    outstanding_before = len(hierarchy.accesses)
+    hierarchy.release_all(600)
+    engine.run(until=1000)
+    assert len(hierarchy.accesses) > outstanding_before
+
+
+def test_committed_instructions_in_order():
+    engine = Engine()
+    hierarchy = FakeHierarchy(engine, defer=True)
+    records = [(9, 1, False), (9, 2, False)]
+    config = CoreConfig(issue_width=1)
+    core = Core(engine, 0, config, _trace(records), hierarchy.access)
+    core.start()
+    engine.run(until=100)
+    # Both loads issued, none completed: nothing retires past the first.
+    assert core.committed_instructions(100) == 9
+    hierarchy.release_all(110)
+    engine.run(until=200)
+    assert core.committed_instructions(200) == 20
+
+
+def test_stores_do_not_block_retirement():
+    engine = Engine()
+    hierarchy = FakeHierarchy(engine, defer=True)  # defers everything
+    records = [(9, 1, True), (9, 2, True)]  # stores
+    core = Core(engine, 0, CoreConfig(issue_width=1), _trace(records), hierarchy.access)
+    core.start()
+    engine.run(until=100)
+    assert core.committed_instructions(100) == 20
+
+
+def test_finished_trace_marks_core_done():
+    engine = Engine()
+    hierarchy = FakeHierarchy(engine, latency=1)
+    core = Core(engine, 0, CoreConfig(), _trace([(0, 1, False)]), hierarchy.access)
+    core.start()
+    engine.run()
+    assert core.finished
+
+
+def test_memory_stalls_slow_down_ipc():
+    """A miss-heavy core must be slower than a hit-heavy core — the
+    frontend must not hide stalls beyond the window (regression test)."""
+
+    def run_with_latency(latency):
+        engine = Engine()
+        hierarchy = FakeHierarchy(engine, latency=latency)
+        records = [(49, i, False) for i in range(200)]
+        core = Core(engine, 0, CoreConfig(), _trace(records), hierarchy.access)
+        core.start()
+        return engine.run()
+
+    fast = run_with_latency(10)
+    slow = run_with_latency(500)
+    assert slow > fast * 3

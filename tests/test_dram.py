@@ -1,0 +1,132 @@
+"""Unit tests for the DDR3 timing model."""
+
+import pytest
+
+from repro.config import DramConfig
+from repro.mem.dram import Channel, DramMapping, service_request
+from repro.mem.request import MemRequest
+
+
+@pytest.fixture
+def dram():
+    return DramConfig()
+
+
+@pytest.fixture
+def channel(dram):
+    return Channel(dram.banks_per_rank)
+
+
+def _request(line_addr: int, core: int = 0) -> MemRequest:
+    return MemRequest(core=core, line_addr=line_addr)
+
+
+def _locate(request: MemRequest, mapping: DramMapping) -> None:
+    request.channel, request.bank, request.row = mapping.locate(request.line_addr)
+
+
+def test_mapping_row_locality(dram):
+    mapping = DramMapping(dram)
+    # Consecutive lines within one row map to the same (channel, bank, row).
+    first = mapping.locate(0)
+    for line in range(1, mapping.lines_per_row):
+        assert mapping.locate(line) == first
+    # The next row changes bank.
+    nxt = mapping.locate(mapping.lines_per_row)
+    assert nxt != first
+
+
+def test_mapping_covers_all_banks(dram):
+    mapping = DramMapping(dram)
+    banks = {
+        mapping.locate(row * mapping.lines_per_row)[1] for row in range(64)
+    }
+    assert banks == set(range(dram.banks_per_rank))
+
+
+def test_closed_row_latency(dram, channel):
+    mapping = DramMapping(dram)
+    req = _request(0)
+    _locate(req, mapping)
+    completion, row_hit, conflict = service_request(channel, req, 0, dram)
+    assert not row_hit and not conflict
+    assert completion == dram.trcd + dram.cas_latency + dram.burst_time
+
+
+def test_row_hit_latency(dram, channel):
+    mapping = DramMapping(dram)
+    first = _request(0)
+    _locate(first, mapping)
+    t1, _, _ = service_request(channel, first, 0, dram)
+    second = _request(1)
+    _locate(second, mapping)
+    t2, row_hit, _ = service_request(channel, second, t1, dram)
+    assert row_hit
+    assert t2 - t1 == dram.cas_latency + dram.burst_time
+
+
+def test_row_conflict_latency_and_attribution(dram, channel):
+    mapping = DramMapping(dram)
+    opener = _request(0, core=0)
+    _locate(opener, mapping)
+    t1, _, _ = service_request(channel, opener, 0, dram)
+
+    # Another core hits the same bank, different row.
+    lines_per_bank_stride = mapping.lines_per_row * dram.banks_per_rank
+    conflicting = _request(lines_per_bank_stride, core=1)
+    _locate(conflicting, mapping)
+    assert conflicting.bank == opener.bank and conflicting.row != opener.row
+    start = max(t1, dram.tras)
+    t2, row_hit, conflict_other = service_request(channel, conflicting, start, dram)
+    assert not row_hit
+    assert conflict_other, "conflict caused by another core must be flagged"
+    assert t2 - start >= dram.trp + dram.trcd + dram.cas_latency + dram.burst_time
+
+
+def test_own_row_conflict_not_flagged(dram, channel):
+    mapping = DramMapping(dram)
+    stride = mapping.lines_per_row * dram.banks_per_rank
+    a, b = _request(0, core=0), _request(stride, core=0)
+    _locate(a, mapping)
+    _locate(b, mapping)
+    t1, _, _ = service_request(channel, a, 0, dram)
+    _, _, conflict_other = service_request(channel, b, max(t1, dram.tras), dram)
+    assert not conflict_other
+
+
+def test_tras_delays_early_precharge(dram, channel):
+    mapping = DramMapping(dram)
+    stride = mapping.lines_per_row * dram.banks_per_rank
+    a, b = _request(0), _request(stride)
+    _locate(a, mapping)
+    _locate(b, mapping)
+    t1, _, _ = service_request(channel, a, 0, dram)
+    # Issue the conflicting access immediately: precharge must wait for tRAS.
+    t2, _, _ = service_request(channel, b, t1, dram)
+    expected_precharge_start = max(t1, 0 + dram.tras)
+    assert t2 >= expected_precharge_start + dram.trp + dram.trcd + dram.cas_latency
+
+
+def test_bus_serialises_bank_parallel_accesses(dram, channel):
+    mapping = DramMapping(dram)
+    stride = mapping.lines_per_row  # next row -> next bank
+    a, b = _request(0), _request(stride)
+    _locate(a, mapping)
+    _locate(b, mapping)
+    assert a.bank != b.bank
+    t1, _, _ = service_request(channel, a, 0, dram)
+    t2, _, _ = service_request(channel, b, 0, dram)
+    # Same activate+CAS latency, but the second burst queues on the bus.
+    assert t2 == t1 + dram.burst_time
+
+
+def test_request_latency_property(dram, channel):
+    mapping = DramMapping(dram)
+    req = _request(5)
+    _locate(req, mapping)
+    req.arrival_time = 10
+    service_request(channel, req, 20, dram)
+    assert req.latency == req.completion_time - 10
+    fresh = _request(6)
+    with pytest.raises(ValueError):
+        _ = fresh.latency

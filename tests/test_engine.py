@@ -1,0 +1,87 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.engine import Engine
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    log = []
+    engine.schedule(30, lambda: log.append("c"))
+    engine.schedule(10, lambda: log.append("a"))
+    engine.schedule(20, lambda: log.append("b"))
+    engine.run()
+    assert log == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    log = []
+    for i in range(5):
+        engine.schedule(7, lambda i=i: log.append(i))
+    engine.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_before_boundary_events():
+    engine = Engine()
+    log = []
+    engine.schedule(5, lambda: log.append("early"))
+    engine.schedule(10, lambda: log.append("boundary"))
+    engine.schedule(15, lambda: log.append("late"))
+    engine.run(until=10)
+    assert log == ["early"]
+    assert engine.now == 10
+    engine.run(until=20)
+    assert log == ["early", "boundary", "late"]
+
+
+def test_run_until_advances_time_with_empty_queue():
+    engine = Engine()
+    engine.run(until=1000)
+    assert engine.now == 1000
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = Engine()
+    log = []
+
+    def recurring():
+        log.append(engine.now)
+        if engine.now < 50:
+            engine.schedule(10, recurring)
+
+    engine.schedule(10, recurring)
+    engine.run(until=200)
+    assert log == [10, 20, 30, 40, 50]
+
+
+def test_cannot_schedule_in_the_past():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+    with pytest.raises(ValueError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_stop_halts_the_loop():
+    engine = Engine()
+    log = []
+    engine.schedule(1, lambda: (log.append(1), engine.stop()))
+    engine.schedule(2, lambda: log.append(2))
+    engine.run()
+    assert log == [1]
+    assert engine.pending_events == 1
+
+
+def test_schedule_at_current_time_is_allowed():
+    engine = Engine()
+    log = []
+    engine.schedule(5, lambda: engine.schedule(0, lambda: log.append("x")))
+    engine.run()
+    assert log == ["x"]
+    assert engine.now == 5

@@ -1,0 +1,39 @@
+"""Smoke tests for the example scripts.
+
+Full executions take tens of seconds each (they are exercised manually and
+in the docs); here we verify that every example imports cleanly and
+exposes a ``main`` entry point — catching API drift immediately.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "cache_partitioning",
+        "qos_guarantee",
+        "cloud_billing",
+        "job_migration",
+        "memory_scheduling",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)  # __main__ guard prevents execution
+        assert callable(getattr(module, "main", None)), path.stem
+    finally:
+        sys.modules.pop(spec.name, None)

@@ -1,0 +1,197 @@
+"""Tests for the slowdown models (ASM, FST, PTCA, MISE, STFM)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import scaled_config
+from repro.harness.runner import run_workload
+from repro.harness.system import System
+from repro.models.asm import AsmModel
+from repro.models.fst import FstModel
+from repro.models.mise import MiseModel
+from repro.models.perrequest import MlpEstimator
+from repro.models.ptca import PtcaModel
+from repro.models.stfm import StfmModel
+from repro.workloads.mixes import make_mix
+
+QUICK = dict(quanta=2)
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return scaled_config().with_quantum(200_000, 5_000)
+
+
+@pytest.fixture(scope="module")
+def heavy_mix():
+    return make_mix(["mcf", "bzip2", "libquantum", "h264ref"], seed=1)
+
+
+@pytest.fixture(scope="module")
+def all_model_run(quick_config, heavy_mix):
+    return run_workload(
+        heavy_mix,
+        quick_config,
+        model_factories={
+            "asm": lambda: AsmModel(sampled_sets=16),
+            "asm_full": lambda: AsmModel(),
+            "fst": lambda: FstModel(),
+            "ptca": lambda: PtcaModel(),
+            "mise": lambda: MiseModel(),
+            "stfm": lambda: StfmModel(),
+        },
+        **QUICK,
+    )
+
+
+def test_every_model_emits_estimates_per_quantum(all_model_run):
+    for record in all_model_run.records:
+        for model in ("asm", "asm_full", "fst", "ptca", "mise", "stfm"):
+            estimates = record.estimates[model]
+            assert len(estimates) == 4
+            assert all(e >= 1.0 for e in estimates)
+            assert all(e <= 50.0 for e in estimates)
+
+
+def test_asm_beats_noise_floor(all_model_run):
+    """ASM should track actual slowdowns within the paper's ballpark."""
+    assert all_model_run.mean_error("asm") < 30.0
+
+
+def test_sampled_asm_close_to_full_asm(all_model_run):
+    """Section 4.4: set sampling barely affects ASM."""
+    sampled = all_model_run.mean_error("asm")
+    full = all_model_run.mean_error("asm_full")
+    assert abs(sampled - full) < 10.0
+
+
+def test_models_detect_heavy_interference(quick_config, heavy_mix):
+    result = run_workload(
+        heavy_mix,
+        quick_config,
+        model_factories={"asm": lambda: AsmModel(sampled_sets=16)},
+        **QUICK,
+    )
+    # The memory-intensive workload slows everyone down; ASM must see it.
+    estimates = result.records[-1].estimates["asm"]
+    assert max(estimates) > 1.5
+
+
+def test_asm_near_one_for_isolated_like_run(quick_config):
+    """Two compute-bound applications barely interfere: estimates ~1."""
+    mix = make_mix(["povray", "povray"], seed=2)
+    result = run_workload(
+        mix,
+        quick_config,
+        model_factories={"asm": lambda: AsmModel(sampled_sets=16)},
+        **QUICK,
+    )
+    estimates = result.records[-1].estimates["asm"]
+    assert all(e < 1.6 for e in estimates)
+
+
+def test_asm_car_for_ways_monotone(quick_config, heavy_mix):
+    system = System(
+        dataclasses.replace(quick_config, num_cores=4),
+        heavy_mix.traces(),
+        seed=1,
+    )
+    asm = AsmModel(sampled_sets=16)
+    asm.attach(system)
+    system.run_quantum()
+    ways = quick_config.llc.associativity
+    for core in range(4):
+        curve = [asm.car_for_ways(core, n) for n in range(ways + 1)]
+        # More ways -> more hits -> higher (or equal) access rate.
+        assert all(a <= b + 1e-9 for a, b in zip(curve, curve[1:]))
+        # slowdown_for_ways decreases with ways.
+        slowdowns = [asm.slowdown_for_ways(core, n) for n in range(1, ways + 1)]
+        assert all(a >= b - 1e-9 for a, b in zip(slowdowns, slowdowns[1:]))
+
+
+def test_asm_quantum_reset_clears_counters(quick_config, heavy_mix):
+    system = System(
+        dataclasses.replace(quick_config, num_cores=4),
+        heavy_mix.traces(),
+        seed=1,
+    )
+    asm = AsmModel(sampled_sets=16)
+    asm.attach(system)
+    system.run_quantum()
+    assert asm._accesses == [0, 0, 0, 0]  # reset after the quantum hook
+    assert len(asm.estimates_history) == 1
+
+
+def test_fst_filter_modes(quick_config, heavy_mix):
+    result = run_workload(
+        heavy_mix,
+        quick_config,
+        model_factories={
+            "exact": lambda: FstModel(filter_counters=None),
+            "bloom": lambda: FstModel(filter_counters=256),
+        },
+        **QUICK,
+    )
+    # Both run; the finite filter may alias but must stay in bounds.
+    for record in result.records:
+        assert all(1.0 <= e <= 50.0 for e in record.estimates["bloom"])
+
+
+def test_ptca_sampling_degrades_accuracy_more_than_asm(quick_config):
+    """Figure 3's core contrast, as a coarse invariant."""
+    mix = make_mix(["soplex", "ft", "omnetpp", "gcc"], seed=3)
+    result = run_workload(
+        mix,
+        quick_config,
+        model_factories={
+            "ptca_full": lambda: PtcaModel(sampled_sets=None),
+            "ptca_sampled": lambda: PtcaModel(sampled_sets=16),
+            "asm_full": lambda: AsmModel(sampled_sets=None),
+            "asm_sampled": lambda: AsmModel(sampled_sets=16),
+        },
+        quanta=3,
+    )
+    ptca_delta = abs(
+        result.mean_error("ptca_sampled") - result.mean_error("ptca_full")
+    )
+    asm_delta = abs(
+        result.mean_error("asm_sampled") - result.mean_error("asm_full")
+    )
+    assert asm_delta <= ptca_delta + 5.0
+
+
+def test_mise_blind_to_cache_contention(quick_config):
+    """MISE underestimates cache-sensitive applications' slowdowns
+    relative to ASM (Section 6.4)."""
+    mix = make_mix(["ft", "soplex", "xalancbmk", "dealII"], seed=5)
+    result = run_workload(
+        mix,
+        quick_config,
+        model_factories={
+            "asm": lambda: AsmModel(sampled_sets=16),
+            "mise": lambda: MiseModel(),
+        },
+        quanta=3,
+    )
+    last = result.records[-1]
+    # On a cache-heavy workload MISE's estimates sit below ASM's.
+    assert sum(last.estimates["mise"]) < sum(last.estimates["asm"]) + 1.0
+
+
+def test_mlp_estimator():
+    mlp = MlpEstimator()
+    mlp.start(0)
+    mlp.start(0)
+    mlp.end(10)
+    mlp.end(20)
+    # integral = 2*10 + 1*10 = 30 over 20 busy cycles
+    assert mlp.parallelism(20) == pytest.approx(1.5)
+    mlp.reset(20)
+    assert mlp.parallelism(25) == 1.0
+
+
+def test_stfm_memory_only_estimates(quick_config, all_model_run):
+    for record in all_model_run.records:
+        stfm = record.estimates["stfm"]
+        assert all(e >= 1.0 for e in stfm)

@@ -1,0 +1,68 @@
+"""Unit tests for the stride prefetcher."""
+
+from repro.cpu.prefetcher import StridePrefetcher
+
+import pytest
+
+
+def test_no_prefetch_before_confidence():
+    pf = StridePrefetcher(degree=2, distance=4)
+    assert pf.observe(100) == []
+    assert pf.observe(101) == []  # first stride observation: not confident
+
+
+def test_prefetches_after_stable_stride():
+    pf = StridePrefetcher(degree=2, distance=4)
+    pf.observe(100)
+    pf.observe(101)
+    targets = pf.observe(102)
+    assert targets == [106, 107]
+
+
+def test_negative_stride_supported():
+    pf = StridePrefetcher(degree=1, distance=2)
+    pf.observe(100)
+    pf.observe(98)
+    targets = pf.observe(96)
+    assert targets == [92]
+
+
+def test_stride_change_resets_confidence():
+    pf = StridePrefetcher(degree=1, distance=1)
+    pf.observe(0)
+    pf.observe(1)
+    assert pf.observe(2)  # confident
+    assert pf.observe(10) == []  # stride broke (8 seen once)
+    assert pf.observe(18)  # stride 8 seen twice: confident again
+
+
+def test_duplicate_filter_suppresses_reissue():
+    pf = StridePrefetcher(degree=1, distance=4)
+    pf.observe(0)
+    pf.observe(1)
+    first = pf.observe(2)
+    second = pf.observe(3)
+    assert first == [6]
+    assert second == [7], "6 was already prefetched"
+
+
+def test_zero_stride_never_prefetches():
+    pf = StridePrefetcher()
+    for _ in range(10):
+        assert pf.observe(5) == []
+
+
+def test_reset_clears_state():
+    pf = StridePrefetcher(degree=1, distance=1)
+    pf.observe(0)
+    pf.observe(1)
+    pf.observe(2)
+    pf.reset()
+    assert pf.observe(3) == []
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        StridePrefetcher(degree=0)
+    with pytest.raises(ValueError):
+        StridePrefetcher(distance=0)

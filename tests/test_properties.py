@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants."""
+
+import random as pyrandom
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.auxtag import AuxiliaryTagStore
+from repro.cache.bloom import CountingBloomFilter
+from repro.cache.cache import SetAssocCache
+from repro.cache.shared_cache import SharedCache
+from repro.config import CacheConfig, DramConfig
+from repro.engine import Engine
+from repro.mem.controller import MemoryController
+from repro.mem.request import MemRequest
+from repro.models.base import OutstandingTracker
+from repro.policies.partition import lookahead_partition
+
+SMALL = CacheConfig(size_bytes=4 * 1024, associativity=4, latency=1)  # 16 sets
+
+lines = st.integers(min_value=0, max_value=400)
+streams = st.lists(lines, min_size=1, max_size=400)
+
+
+@given(streams)
+@settings(max_examples=50, deadline=None)
+def test_cache_occupancy_never_exceeds_capacity(stream):
+    cache = SetAssocCache(SMALL)
+    for line in stream:
+        cache.access(line)
+    for cache_set in cache.sets:
+        assert cache_set.occupancy() <= SMALL.associativity
+        tags = [line.tag for line in cache_set.lines]
+        assert len(tags) == len(set(tags)), "no duplicate tags in a set"
+
+
+@given(streams)
+@settings(max_examples=50, deadline=None)
+def test_cache_hits_plus_misses_equals_accesses(stream):
+    cache = SetAssocCache(SMALL)
+    for line in stream:
+        cache.access(line)
+    assert cache.hits + cache.misses == len(stream)
+
+
+@given(streams)
+@settings(max_examples=50, deadline=None)
+def test_ats_equals_private_cache(stream):
+    """The full ATS is, by definition, the app's alone cache image."""
+    ats = AuxiliaryTagStore(SMALL)
+    cache = SetAssocCache(SMALL)
+    for line in stream:
+        assert ats.access(line).hit == cache.access(line).hit
+
+
+@given(streams)
+@settings(max_examples=30, deadline=None)
+def test_ats_utility_curve_monotone_and_bounded(stream):
+    ats = AuxiliaryTagStore(SMALL)
+    for line in stream:
+        ats.access(line)
+    curve = ats.utility_curve()
+    assert curve[0] == 0.0
+    assert all(a <= b + 1e-9 for a, b in zip(curve, curve[1:]))
+    assert curve[-1] <= len(stream)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_bloom_no_false_negatives(keys):
+    bloom = CountingBloomFilter(2048)
+    for key in keys:
+        bloom.insert(key)
+    assert all(key in bloom for key in keys)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_bloom_insert_remove_roundtrip(keys):
+    bloom = CountingBloomFilter(4096)
+    for key in keys:
+        bloom.insert(key)
+    for key in keys:
+        bloom.remove(key)
+    # Counting filters guarantee full cleanup on exact multiset removal.
+    assert bloom.load == 0.0
+
+
+@given(
+    st.integers(min_value=2, max_value=6),  # apps
+    st.integers(min_value=8, max_value=32),  # ways
+    st.integers(min_value=0, max_value=2 ** 31),
+)
+@settings(max_examples=60, deadline=None)
+def test_lookahead_partition_total_and_bounds(num_apps, ways, seed):
+    if num_apps > ways:
+        return
+    rng = pyrandom.Random(seed)
+    curves = []
+    for _ in range(num_apps):
+        steps = sorted(rng.uniform(0, 100) for _ in range(ways + 1))
+        curves.append(steps)
+    allocation = lookahead_partition(curves, ways)
+    assert sum(allocation) == ways
+    assert all(1 <= w <= ways for w in allocation)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 3)),
+        min_size=0,
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_shared_cache_partition_owner_occupancy_converges(ops):
+    """After enough partitioned insertions, each set respects quotas for
+    owners that keep inserting."""
+    llc = SharedCache(SMALL, num_cores=2)
+    llc.set_partition([2, 2])
+    for owner, set_offset in ops:
+        # Construct an address in the chosen set with a unique-ish tag.
+        line = set_offset + len(ops) * 16 + pyrandom.Random(owner).randrange(4) * 16
+        llc.access(owner, line)
+    for cache_set in llc.sets:
+        assert cache_set.occupancy() <= SMALL.associativity
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 50)), max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_tracker_busy_never_exceeds_elapsed(events):
+    tracker = OutstandingTracker()
+    now = 0
+    open_count = 0
+    for is_start, delta in events:
+        now += delta
+        if is_start:
+            tracker.start(now)
+            open_count += 1
+        elif open_count > 0:
+            tracker.end(now)
+            open_count -= 1
+    assert 0 <= tracker.read(now) <= now
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 5000), st.booleans()),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_controller_serves_every_request(ops):
+    """Every enqueued request eventually completes, exactly once."""
+    engine = Engine()
+    controller = MemoryController(engine, DramConfig(), num_cores=2)
+    completed = []
+    requests = []
+    for core, line, is_write in ops:
+        request = MemRequest(
+            core=core,
+            line_addr=line,
+            is_write=is_write,
+            callback=lambda r: completed.append(r),
+        )
+        requests.append(request)
+        controller.enqueue(request)
+    engine.run()
+    assert len(completed) == len(requests)
+    assert set(id(r) for r in completed) == set(id(r) for r in requests)
+    for request in requests:
+        assert request.completion_time is not None
+        assert request.completion_time > request.arrival_time
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 2000)),
+        min_size=2,
+        max_size=40,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_bank_service_windows_never_overlap(ops):
+    """DRAM bank occupancy intervals are disjoint per bank."""
+    engine = Engine()
+    controller = MemoryController(engine, DramConfig(), num_cores=2)
+    served = []
+    for core, line in ops:
+        request = MemRequest(core=core, line_addr=line,
+                             callback=lambda r: served.append(r))
+        controller.enqueue(request)
+    engine.run()
+    by_bank = {}
+    for request in served:
+        by_bank.setdefault((request.channel, request.bank), []).append(
+            (request.issue_time, request.completion_time)
+        )
+    for intervals in by_bank.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1, "bank served two requests simultaneously"

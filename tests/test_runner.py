@@ -1,0 +1,102 @@
+"""Tests for the run orchestration and ground-truth machinery."""
+
+import math
+
+import pytest
+
+from repro.config import scaled_config
+from repro.harness.runner import (
+    AloneProfile,
+    AloneRunCache,
+    run_alone,
+    run_workload,
+)
+from repro.models.asm import AsmModel
+from repro.workloads.mixes import make_mix
+
+
+def test_alone_profile_interpolation():
+    profile = AloneProfile(checkpoint_interval=100, instructions=[50, 100, 150])
+    assert profile.time_at(0) == 0.0
+    assert profile.time_at(50) == 100.0
+    assert profile.time_at(75) == 150.0
+    assert profile.time_at(150) == 300.0
+
+
+def test_alone_profile_extrapolates_past_range():
+    profile = AloneProfile(checkpoint_interval=100, instructions=[50, 100])
+    # Slope of last interval: 50 instructions per 100 cycles.
+    assert profile.time_at(125) == pytest.approx(250.0)
+
+
+def test_alone_profile_cycles_for_span_monotone():
+    profile = AloneProfile(checkpoint_interval=10, instructions=[10, 30, 60])
+    assert profile.cycles_for_span(10, 30) == pytest.approx(10.0)
+    assert profile.cycles_for_span(0, 60) == pytest.approx(30.0)
+
+
+def test_run_alone_produces_monotone_profile():
+    config = scaled_config()
+    mix = make_mix(["gcc"], seed=1)
+    profile = run_alone(mix.trace_for_core(0), config, cycles=100_000)
+    assert len(profile.instructions) == 50
+    assert all(
+        a <= b for a, b in zip(profile.instructions, profile.instructions[1:])
+    )
+    assert profile.instructions[-1] > 0
+
+
+def test_alone_cache_reuses_profiles():
+    config = scaled_config().with_quantum(100_000, 5_000)
+    mix = make_mix(["gcc", "mcf"], seed=2)
+    cache = AloneRunCache()
+    run_workload(mix, config, quanta=1, alone_cache=cache)
+    assert len(cache) == 2
+    run_workload(mix, config, quanta=1, alone_cache=cache)
+    assert len(cache) == 2  # second run hits the cache
+
+
+def test_run_workload_ground_truth_sane():
+    config = scaled_config().with_quantum(200_000, 5_000)
+    mix = make_mix(["mcf", "bzip2", "libquantum", "h264ref"], seed=1)
+    result = run_workload(
+        mix,
+        config,
+        model_factories={"asm": lambda: AsmModel(sampled_sets=16)},
+        quanta=2,
+    )
+    assert len(result.records) == 2
+    for record in result.records:
+        for core in range(4):
+            actual = record.actual_slowdowns[core]
+            assert not math.isnan(actual)
+            # Interference can only slow applications down (within noise).
+            assert actual > 0.9
+            assert record.estimates["asm"][core] >= 1.0
+
+
+def test_run_result_aggregates():
+    config = scaled_config().with_quantum(150_000, 5_000)
+    mix = make_mix(["mcf", "ft"], seed=4)
+    result = run_workload(
+        mix,
+        config,
+        model_factories={"asm": lambda: AsmModel(sampled_sets=16)},
+        quanta=2,
+    )
+    slowdowns = result.mean_actual_slowdowns()
+    assert len(slowdowns) == 2
+    assert result.max_slowdown() == max(slowdowns)
+    assert 0 < result.harmonic_speedup() <= 1.5
+    errors = result.errors_for("asm")
+    assert len(errors) == 2
+    assert result.mean_error("asm") >= 0
+
+
+def test_run_workload_is_deterministic():
+    config = scaled_config().with_quantum(100_000, 5_000)
+    mix = make_mix(["mcf", "ft"], seed=4)
+    a = run_workload(mix, config, quanta=1)
+    b = run_workload(mix, config, quanta=1)
+    assert a.records[0].instructions == b.records[0].instructions
+    assert a.records[0].actual_slowdowns == b.records[0].actual_slowdowns

@@ -1,0 +1,83 @@
+"""Tests for trace file I/O."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.synthetic import SyntheticTrace
+from repro.workloads.catalog import spec_by_name
+from repro.workloads.tracefile import load_trace, save_trace
+
+
+def test_roundtrip(tmp_path):
+    records = [
+        TraceRecord(gap=5, line_addr=0xABC, is_write=False),
+        TraceRecord(gap=0, line_addr=0xDEF, is_write=True),
+    ]
+    path = tmp_path / "trace.txt"
+    assert save_trace(records, path) == 2
+    assert list(load_trace(path)) == records
+
+
+def test_roundtrip_gzip(tmp_path):
+    records = list(
+        itertools.islice(SyntheticTrace(spec_by_name("gcc"), seed=1), 500)
+    )
+    path = tmp_path / "trace.txt.gz"
+    save_trace(records, path)
+    assert list(load_trace(path)) == records
+
+
+def test_save_with_limit(tmp_path):
+    trace = SyntheticTrace(spec_by_name("mcf"), seed=2)
+    path = tmp_path / "trace.txt"
+    assert save_trace(trace, path, limit=100) == 100
+    assert len(list(load_trace(path))) == 100
+
+
+def test_loop_replays(tmp_path):
+    records = [TraceRecord(gap=1, line_addr=2, is_write=False)]
+    path = tmp_path / "trace.txt"
+    save_trace(records, path)
+    looped = list(itertools.islice(load_trace(path, loop=True), 5))
+    assert looped == records * 5
+
+
+def test_comments_and_blank_lines_ignored(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# header\n\n3 ff R\n# mid\n1 a W\n")
+    records = list(load_trace(path))
+    assert records == [
+        TraceRecord(3, 0xFF, False),
+        TraceRecord(1, 0xA, True),
+    ]
+
+
+def test_malformed_line_raises(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("1 ff X\n")
+    with pytest.raises(ValueError, match="malformed"):
+        list(load_trace(path))
+
+
+def test_loop_on_empty_trace_raises(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# empty\n")
+    with pytest.raises(ValueError, match="no records"):
+        next(load_trace(path, loop=True))
+
+
+def test_loaded_trace_drives_simulation(tmp_path):
+    """A recorded trace must be a drop-in replacement for a generator."""
+    import dataclasses
+
+    from repro.config import scaled_config
+    from repro.harness.system import System
+
+    path = tmp_path / "trace.txt"
+    save_trace(SyntheticTrace(spec_by_name("gcc"), seed=3), path, limit=2000)
+    config = dataclasses.replace(scaled_config(), num_cores=1)
+    system = System(config, [load_trace(path, loop=True)], enable_epochs=False)
+    system.run_until(50_000)
+    assert system.cores[0].committed_instructions(50_000) > 0

@@ -1,0 +1,60 @@
+"""Unit tests for the outstanding-interval tracker (Table 1 semantics)."""
+
+import pytest
+
+from repro.models.base import OutstandingTracker
+
+
+def test_single_interval():
+    tracker = OutstandingTracker()
+    tracker.start(10)
+    tracker.end(30)
+    assert tracker.read(100) == 20
+
+
+def test_overlapping_intervals_count_once():
+    """'# cycles during which at least one X is outstanding' is a union."""
+    tracker = OutstandingTracker()
+    tracker.start(0)
+    tracker.start(5)
+    tracker.end(10)
+    tracker.end(20)
+    assert tracker.read(100) == 20  # union [0, 20), not 10 + 15
+
+
+def test_disjoint_intervals_sum():
+    tracker = OutstandingTracker()
+    tracker.start(0)
+    tracker.end(10)
+    tracker.start(50)
+    tracker.end(60)
+    assert tracker.read(100) == 20
+
+
+def test_gate_excludes_closed_periods():
+    tracker = OutstandingTracker(gate_open=False)
+    tracker.start(0)
+    tracker.set_gate(True, 10)
+    tracker.set_gate(False, 25)
+    tracker.end(40)
+    assert tracker.read(100) == 15  # only [10, 25) counted
+
+
+def test_read_includes_open_interval_up_to_now():
+    tracker = OutstandingTracker()
+    tracker.start(0)
+    assert tracker.read(7) == 7
+
+
+def test_reset_preserves_count():
+    tracker = OutstandingTracker()
+    tracker.start(0)
+    tracker.reset(10)
+    assert tracker.read(15) == 5  # still outstanding after reset
+    tracker.end(20)
+
+
+def test_end_without_start_raises():
+    tracker = OutstandingTracker()
+    with pytest.raises(ValueError):
+        tracker.end(5)

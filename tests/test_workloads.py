@@ -1,0 +1,156 @@
+"""Unit tests for synthetic workloads, the catalog, hog and mixes."""
+
+import itertools
+
+import pytest
+
+from repro.workloads.catalog import (
+    CATALOG,
+    intensity_class,
+    spec_by_name,
+    specs_sorted_by_intensity,
+)
+from repro.workloads.hog import hog_spec
+from repro.workloads.mixes import make_mix, random_mixes
+from repro.workloads.synthetic import AppSpec, SyntheticTrace
+
+
+def _take(trace, n):
+    return list(itertools.islice(trace, n))
+
+
+def test_trace_is_deterministic():
+    spec = spec_by_name("mcf")
+    a = _take(SyntheticTrace(spec, seed=7), 500)
+    b = _take(SyntheticTrace(spec, seed=7), 500)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    spec = spec_by_name("mcf")
+    a = _take(SyntheticTrace(spec, seed=1), 200)
+    b = _take(SyntheticTrace(spec, seed=2), 200)
+    assert a != b
+
+
+def test_base_line_offsets_address_space():
+    spec = spec_by_name("gcc")
+    records = _take(SyntheticTrace(spec, seed=3, base_line=1 << 28), 1000)
+    assert all(r.line_addr >= 1 << 28 for r in records)
+    assert all(r.line_addr < (1 << 28) + spec.footprint_lines for r in records)
+
+
+def test_mean_gap_tracks_apki():
+    spec = spec_by_name("libquantum")
+    records = _take(SyntheticTrace(spec, seed=4), 20_000)
+    mean_gap = sum(r.gap for r in records) / len(records)
+    assert mean_gap == pytest.approx(spec.mean_gap, rel=0.1)
+
+
+def test_write_fraction():
+    spec = spec_by_name("lbm")  # write_frac 0.3
+    records = _take(SyntheticTrace(spec, seed=5), 20_000)
+    writes = sum(r.is_write for r in records) / len(records)
+    assert writes == pytest.approx(spec.write_frac, abs=0.03)
+
+
+def test_streaming_app_has_sequential_runs():
+    spec = spec_by_name("libquantum")  # seq_frac 0.95, reuse tiny
+    records = _take(SyntheticTrace(spec, seed=6), 2000)
+    seq_pairs = sum(
+        1
+        for a, b in zip(records, records[1:])
+        if b.line_addr - a.line_addr == 1
+    )
+    assert seq_pairs / len(records) > 0.6
+
+
+def test_cache_sensitive_app_reuses_lines():
+    spec = spec_by_name("ft")  # reuse_prob 0.88
+    records = _take(SyntheticTrace(spec, seed=7), 30_000)
+    distinct = len({r.line_addr for r in records})
+    assert distinct < len(records) * 0.5, "hot set must be re-referenced"
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        AppSpec("x", apki=0, reuse_prob=0.5, reuse_depth=10,
+                footprint_lines=100, seq_frac=0.5)
+    with pytest.raises(ValueError):
+        AppSpec("x", apki=1, reuse_prob=1.5, reuse_depth=10,
+                footprint_lines=100, seq_frac=0.5)
+    with pytest.raises(ValueError):
+        AppSpec("x", apki=1, reuse_prob=0.5, reuse_depth=0,
+                footprint_lines=100, seq_frac=0.5)
+
+
+def test_catalog_contents():
+    assert len(CATALOG) >= 25
+    suites = {spec.suite for spec in CATALOG.values()}
+    assert suites == {"spec", "nas", "db"}
+    for name in ("mcf", "libquantum", "bzip2", "ft", "tpcc", "ycsb"):
+        assert name in CATALOG
+
+
+def test_catalog_sorted_by_intensity():
+    specs = specs_sorted_by_intensity("spec")
+    apkis = [s.apki for s in specs]
+    assert apkis == sorted(apkis)
+    assert all(s.suite == "spec" for s in specs)
+
+
+def test_spec_by_name_unknown():
+    with pytest.raises(KeyError):
+        spec_by_name("doom3")
+
+
+def test_intensity_classes_cover_catalog():
+    classes = {intensity_class(s) for s in CATALOG.values()}
+    assert classes == {"low", "medium", "high"}
+
+
+def test_hog_intensity_scales_apki():
+    weak = hog_spec(0.1)
+    strong = hog_spec(1.0)
+    assert strong.apki > weak.apki * 5
+
+
+def test_hog_cache_pressure_shifts_profile():
+    bandwidth = hog_spec(1.0, cache_pressure=0.0)
+    capacity = hog_spec(1.0, cache_pressure=1.0)
+    assert bandwidth.seq_frac > capacity.seq_frac
+    assert capacity.reuse_prob > bandwidth.reuse_prob
+
+
+def test_hog_validation():
+    with pytest.raises(ValueError):
+        hog_spec(1.5)
+    with pytest.raises(ValueError):
+        hog_spec(0.5, cache_pressure=-0.1)
+
+
+def test_make_mix():
+    mix = make_mix(["mcf", "ft"], seed=5)
+    assert mix.num_cores == 2
+    assert mix.name == "mcf+ft"
+    traces = mix.traces()
+    assert len(traces) == 2
+
+
+def test_mix_alone_trace_matches_shared_trace():
+    mix = make_mix(["mcf", "ft"], seed=5)
+    shared = _take(mix.traces()[1], 300)
+    alone = _take(mix.trace_for_core(1), 300)
+    assert shared == alone
+
+
+def test_random_mixes_deterministic_and_distinct():
+    a = random_mixes(5, 4, seed=10)
+    b = random_mixes(5, 4, seed=10)
+    assert [m.specs for m in a] == [m.specs for m in b]
+    assert len({m.specs for m in a}) > 1
+
+
+def test_random_mixes_core_count():
+    for mix in random_mixes(3, 8, seed=2):
+        assert mix.num_cores == 8
