@@ -45,6 +45,14 @@ from repro.harness.runner import (
 )
 from repro.harness.system import System
 from repro.models import AsmModel, FstModel, MiseModel, PtcaModel, StfmModel
+from repro.resilience import (
+    Campaign,
+    InvariantChecker,
+    InvariantViolation,
+    QuantumWatchdog,
+    RunFailure,
+    replay_failure,
+)
 from repro.policies import (
     AsmCacheMemPolicy,
     AsmCachePolicy,
@@ -76,6 +84,12 @@ __all__ = [
     "MiseModel",
     "PtcaModel",
     "StfmModel",
+    "Campaign",
+    "InvariantChecker",
+    "InvariantViolation",
+    "QuantumWatchdog",
+    "RunFailure",
+    "replay_failure",
     "AsmCacheMemPolicy",
     "AsmCachePolicy",
     "AsmMemPolicy",

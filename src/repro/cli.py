@@ -8,11 +8,20 @@
 
 Every experiment accepts ``--mixes`` (workloads per configuration) and
 ``--quanta`` (quanta per run); the defaults match the benchmark suite.
+
+Campaign resilience (see ``repro.resilience``): per-mix results are
+checkpointed under ``--campaign-dir`` (default ``results/.campaign``),
+``--resume`` reuses checkpointed results instead of recomputing them,
+``--keep-going`` turns a per-mix crash into a replayable failure record
+instead of aborting the sweep, and ``--check-invariants`` enables the
+conservation-law guards on every simulated quantum.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -36,35 +45,44 @@ from repro.experiments import (
 )
 
 
+def _supported(run, extras: dict) -> dict:
+    """Keep only the extras the driver's ``run`` signature accepts."""
+    params = inspect.signature(run).parameters
+    return {k: v for k, v in extras.items() if v is not None and k in params}
+
+
 def _with_scale(run, **fixed):
-    def runner(mixes: Optional[int], quanta: Optional[int]):
+    def runner(mixes: Optional[int], quanta: Optional[int], **extras):
         kwargs = dict(fixed)
         if mixes:
             kwargs["num_mixes"] = mixes
         if quanta:
             kwargs["quanta"] = quanta
+        kwargs.update(_supported(run, extras))
         return run(**kwargs)
 
     return runner
 
 
 def _per_core_count(run):
-    def runner(mixes: Optional[int], quanta: Optional[int]):
+    def runner(mixes: Optional[int], quanta: Optional[int], **extras):
         kwargs = {}
         if mixes:
             kwargs["mixes_per_count"] = {4: mixes, 8: mixes, 16: mixes}
         if quanta:
             kwargs["quanta"] = quanta
+        kwargs.update(_supported(run, extras))
         return run(**kwargs)
 
     return runner
 
 
 def _fixed_scale(run):
-    def runner(mixes: Optional[int], quanta: Optional[int]):
+    def runner(mixes: Optional[int], quanta: Optional[int], **extras):
         kwargs = {}
         if quanta:
             kwargs["quanta"] = quanta
+        kwargs.update(_supported(run, extras))
         return run(**kwargs)
 
     return runner
@@ -110,6 +128,8 @@ DESCRIPTIONS = {
     "ablations": "ASM design-choice ablations",
 }
 
+DEFAULT_CAMPAIGN_DIR = os.path.join("results", ".campaign")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -118,16 +138,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list"],
         help="experiment to run, or 'list' to enumerate them",
     )
     parser.add_argument("--mixes", type=int, default=0,
                         help="workloads per configuration")
     parser.add_argument("--quanta", type=int, default=0,
                         help="quanta per run")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload-generation seed override")
     parser.add_argument("--out", type=str, default="",
                         help="also write the table to this file")
+    parser.add_argument("--campaign-dir", type=str,
+                        default=DEFAULT_CAMPAIGN_DIR,
+                        help="checkpoint store root ('' disables the store)")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse checkpointed per-mix results")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="record per-mix failures and finish the sweep")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="validate conservation laws every quantum")
+    parser.add_argument("--wall-clock-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abort any quantum exceeding this wall-clock "
+                             "budget (per run_quantum call)")
     return parser
+
+
+def _unknown_experiment(name: str) -> int:
+    valid = ", ".join(sorted(EXPERIMENTS))
+    sys.stderr.write(
+        f"repro: unknown experiment '{name}'.\n"
+        f"Valid experiments: {valid}\n"
+        f"Run 'python -m repro list' for descriptions.\n"
+    )
+    return 2
 
 
 def main(argv=None) -> int:
@@ -136,15 +180,43 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"{name:14s} {DESCRIPTIONS[name]}")
         return 0
+    if args.experiment not in EXPERIMENTS:
+        return _unknown_experiment(args.experiment)
+
+    from repro.resilience import Campaign
+
+    store_dir = (
+        os.path.join(args.campaign_dir, args.experiment)
+        if args.campaign_dir
+        else None
+    )
+    campaign = Campaign(
+        args.experiment,
+        store_dir,
+        resume=args.resume,
+        keep_going=args.keep_going,
+        check_invariants=args.check_invariants,
+        wall_clock_budget_s=args.wall_clock_budget,
+    )
+
     start = time.time()
-    result = EXPERIMENTS[args.experiment](args.mixes or None, args.quanta or None)
+    result = EXPERIMENTS[args.experiment](
+        args.mixes or None,
+        args.quanta or None,
+        seed=args.seed,
+        campaign=campaign,
+    )
     table = result.format_table()
     print(table)
     print(f"\n[{args.experiment} finished in {time.time() - start:.1f}s]")
+    if campaign.computed or campaign.resumed or campaign.failures:
+        print(campaign.summary())
+    if campaign.failures:
+        print(campaign.failure_summary())
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(table + "\n")
-    return 0
+    return 1 if campaign.failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -87,10 +87,16 @@ class Core:
 
         while True:
             if self._next_record is None:
-                self._next_record = next(self.trace, None)
-                if self._next_record is None:
+                record = next(self.trace, None)
+                if record is None:
                     self.finished = True
                     return
+                if record.gap < 0 or record.line_addr < 0:
+                    raise ValueError(
+                        f"corrupt trace record for core {self.core_id}: "
+                        f"{record!r}"
+                    )
+                self._next_record = record
             record = self._next_record
 
             while (

@@ -8,9 +8,32 @@ that identical inputs always produce identical simulations.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Callable, List, Optional, Tuple
 
 Callback = Callable[[], None]
+
+# How often (in executed events) the run loop samples the wall clock when a
+# deadline is armed. Power of two so the check compiles to a cheap mask.
+_DEADLINE_CHECK_MASK = 0x3FF
+
+
+class DeadlineExceeded(RuntimeError):
+    """A wall-clock deadline expired while the event loop was running.
+
+    Raised from :meth:`Engine.run` so that a hung or pathologically slow
+    quantum can be aborted and diagnosed instead of burning the rest of a
+    campaign's time budget.
+    """
+
+    def __init__(self, now: int, pending_events: int, overshoot_s: float) -> None:
+        super().__init__(
+            f"wall-clock deadline exceeded (overshot by {overshoot_s:.3f}s) at "
+            f"cycle {now} with {pending_events} pending events"
+        )
+        self.now = now
+        self.pending_events = pending_events
+        self.overshoot_s = overshoot_s
 
 
 class Engine:
@@ -21,6 +44,13 @@ class Engine:
         self._queue: List[Tuple[int, int, Callback]] = []
         self._seq: int = 0
         self._stopped: bool = False
+        # Diagnostics for the last run() call: did the queue drain before
+        # ``until`` was reached / did stop() interrupt it? The watchdog in
+        # the run harness uses these to turn a silent time clamp into a
+        # diagnosable failure.
+        self.drained_early: bool = False
+        self.stopped_early: bool = False
+        self.events_executed: int = 0
 
     def schedule(self, delay: int, callback: Callback) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
@@ -41,23 +71,49 @@ class Engine:
         """Request that :meth:`run` return before the next event."""
         self._stopped = True
 
-    def run(self, until: Optional[int] = None) -> int:
+    def run(
+        self,
+        until: Optional[int] = None,
+        wall_deadline: Optional[float] = None,
+    ) -> int:
         """Run events until the queue drains or ``until`` cycles is reached.
 
         Returns the final simulation time. Events scheduled exactly at
         ``until`` are not executed; time is clamped to ``until``.
+
+        ``wall_deadline`` is an absolute :func:`time.monotonic` timestamp;
+        when it passes while events are still being executed the loop raises
+        :class:`DeadlineExceeded` (checked every ~1K events, so a single
+        long-running callback is only caught on return).
         """
         self._stopped = False
+        self.drained_early = False
+        self.stopped_early = False
         queue = self._queue
+        executed = 0
         while queue and not self._stopped:
             time, _seq, callback = queue[0]
             if until is not None and time >= until:
                 self.now = until
+                self.events_executed = executed
                 return self.now
             heapq.heappop(queue)
             self.now = time
             callback()
+            executed += 1
+            if (
+                wall_deadline is not None
+                and (executed & _DEADLINE_CHECK_MASK) == 0
+                and _time.monotonic() > wall_deadline
+            ):
+                self.events_executed = executed
+                raise DeadlineExceeded(
+                    self.now, len(queue), _time.monotonic() - wall_deadline
+                )
+        self.events_executed = executed
+        self.stopped_early = self._stopped
         if until is not None and self.now < until:
+            self.drained_early = not self._stopped
             self.now = until
         return self.now
 

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig, scaled_config
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.resilience.campaign import Campaign
 from repro.harness import metrics
 from repro.harness.runner import AloneRunCache, ModelFactory, RunResult, run_workload
 from repro.models.asm import AsmModel
@@ -98,20 +101,47 @@ def survey_errors(
     quanta: int = 2,
     alone_cache: Optional[AloneRunCache] = None,
     scheduler_factory: Optional[Callable] = None,
+    campaign: Optional["Campaign"] = None,
+    variant: str = "",
 ) -> ErrorSurvey:
-    """Run every mix and collect estimation errors for every model."""
+    """Run every mix and collect estimation errors for every model.
+
+    With a :class:`repro.resilience.campaign.Campaign`, each mix runs under
+    its fault-isolation/checkpoint discipline: previously completed mixes
+    are resumed from the store, failing mixes are captured (and skipped
+    when the campaign keeps going) instead of aborting the survey, and
+    ``variant`` disambiguates multiple surveys within one experiment.
+    """
     survey = ErrorSurvey(model_names=list(model_factories))
     # Explicit None check: an empty AloneRunCache is falsy (len == 0).
-    cache = alone_cache if alone_cache is not None else AloneRunCache()
+    if alone_cache is not None:
+        cache = alone_cache
+    elif campaign is not None:
+        cache = campaign.alone_cache()
+    else:
+        cache = AloneRunCache()
     for mix in mixes:
-        result = run_workload(
-            mix,
-            config,
-            model_factories=model_factories,
-            scheduler_factory=scheduler_factory,
-            quanta=quanta,
-            alone_cache=cache,
-        )
+        if campaign is not None:
+            result = campaign.run_mix(
+                mix,
+                config,
+                quanta=quanta,
+                variant=variant,
+                model_factories=model_factories,
+                scheduler_factory=scheduler_factory,
+                alone_cache=cache,
+            )
+            if result is None:
+                continue
+        else:
+            result = run_workload(
+                mix,
+                config,
+                model_factories=model_factories,
+                scheduler_factory=scheduler_factory,
+                quanta=quanta,
+                alone_cache=cache,
+            )
         survey.add_run(result)
     return survey
 
@@ -141,8 +171,17 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
-def fairness_of_runs(results: Sequence[RunResult]) -> Dict[str, float]:
-    """Average unfairness (max slowdown) and harmonic speedup over runs."""
+def fairness_of_runs(results: Sequence[Optional[RunResult]]) -> Dict[str, float]:
+    """Average unfairness (max slowdown) and harmonic speedup over runs.
+
+    ``None`` entries (mixes a campaign captured as failures) are skipped;
+    all-failed cells report NaN rather than aborting the sweep."""
+    results = [r for r in results if r is not None]
+    if not results:
+        return {
+            "max_slowdown": float("nan"),
+            "harmonic_speedup": float("nan"),
+        }
     return {
         "max_slowdown": metrics.mean(r.max_slowdown() for r in results),
         "harmonic_speedup": metrics.mean(r.harmonic_speedup() for r in results),

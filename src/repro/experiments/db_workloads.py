@@ -37,6 +37,7 @@ def run(
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 99,
+    campaign=None,
 ) -> DbWorkloadsResult:
     config = config or scaled_config()
     pool = [s for s in CATALOG.values() if s.suite == "db"]
@@ -46,5 +47,7 @@ def run(
         "ptca": lambda: PtcaModel(sampled_sets=None),
         "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets),
     }
-    survey = survey_errors(mixes, config, factories, quanta=quanta)
+    survey = survey_errors(
+        mixes, config, factories, quanta=quanta, campaign=campaign
+    )
     return DbWorkloadsResult(survey=survey)

@@ -57,9 +57,17 @@ def run(
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 42,
+    campaign=None,
 ) -> ErrorComparisonResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
     factories = sampled_models(config) if sampled else unsampled_models()
-    survey = survey_errors(mixes, config, factories, quanta=quanta)
+    survey = survey_errors(
+        mixes,
+        config,
+        factories,
+        quanta=quanta,
+        campaign=campaign,
+        variant="sampled" if sampled else "unsampled",
+    )
     return ErrorComparisonResult(survey=survey, sampled=sampled)

@@ -57,8 +57,11 @@ def run(
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 42,
+    campaign=None,
 ) -> ErrorDistributionResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
-    survey = survey_errors(mixes, config, headline_models(config), quanta=quanta)
+    survey = survey_errors(
+        mixes, config, headline_models(config), quanta=quanta, campaign=campaign
+    )
     return ErrorDistributionResult(survey=survey)

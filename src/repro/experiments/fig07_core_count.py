@@ -49,6 +49,7 @@ def run(
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 42,
+    campaign=None,
 ) -> CoreCountResult:
     config = config or scaled_config()
     mixes_per_count = mixes_per_count or {4: 8, 8: 5, 16: 3}
@@ -57,6 +58,11 @@ def run(
         cfg = config.with_cores(cores)
         mixes = default_mixes(mixes_per_count.get(cores, 4), cores, seed=seed + cores)
         result.surveys[cores] = survey_errors(
-            mixes, cfg, headline_models(cfg), quanta=quanta
+            mixes,
+            cfg,
+            headline_models(cfg),
+            quanta=quanta,
+            campaign=campaign,
+            variant=f"{cores}cores",
         )
     return result

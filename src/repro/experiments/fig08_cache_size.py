@@ -44,6 +44,7 @@ def run(
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 42,
+    campaign=None,
 ) -> CacheSizeResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
@@ -51,6 +52,11 @@ def run(
     for size in sizes:
         cfg = config.with_llc_size(size)
         result.surveys[size] = survey_errors(
-            mixes, cfg, headline_models(cfg), quanta=quanta
+            mixes,
+            cfg,
+            headline_models(cfg),
+            quanta=quanta,
+            campaign=campaign,
+            variant=f"llc{size // 1024}k",
         )
     return result

@@ -63,6 +63,7 @@ def run(
     config: Optional[SystemConfig] = None,
     seed: int = 42,
     llc_bytes_per_core: int = 0,
+    campaign=None,
 ) -> CachePartitioningResult:
     """``llc_bytes_per_core`` > 0 scales the LLC with the core count (the
     paper's larger-cache 16-core study, Section 7.1.2 fourth observation),
@@ -75,11 +76,24 @@ def run(
         if llc_bytes_per_core:
             cfg = cfg.with_llc_size(llc_bytes_per_core * cores)
         mixes = default_mixes(mixes_per_count.get(cores, 3), cores, seed=seed + cores)
-        cache = AloneRunCache()
+        cache = campaign.alone_cache() if campaign else AloneRunCache()
         for scheme, kwargs in _schemes(cfg).items():
-            runs = [
-                run_workload(mix, cfg, quanta=quanta, alone_cache=cache, **kwargs)
-                for mix in mixes
-            ]
+            if campaign is not None:
+                runs = [
+                    campaign.run_mix(
+                        mix,
+                        cfg,
+                        quanta=quanta,
+                        variant=f"{cores}cores-{scheme}",
+                        alone_cache=cache,
+                        **kwargs,
+                    )
+                    for mix in mixes
+                ]
+            else:
+                runs = [
+                    run_workload(mix, cfg, quanta=quanta, alone_cache=cache, **kwargs)
+                    for mix in mixes
+                ]
             result.outcomes[(cores, scheme)] = fairness_of_runs(runs)
     return result

@@ -56,6 +56,7 @@ def run(
     quanta: int = 3,
     config: Optional[SystemConfig] = None,
     seed: int = 42,
+    campaign=None,
 ) -> BandwidthPartitioningResult:
     config = config or scaled_config()
     mixes_per_count = mixes_per_count or {4: 5, 8: 3, 16: 2}
@@ -63,11 +64,24 @@ def run(
     for cores in core_counts:
         cfg = config.with_cores(cores)
         mixes = default_mixes(mixes_per_count.get(cores, 3), cores, seed=seed + cores)
-        cache = AloneRunCache()
+        cache = campaign.alone_cache() if campaign else AloneRunCache()
         for scheme, kwargs in _schemes(cfg).items():
-            runs = [
-                run_workload(mix, cfg, quanta=quanta, alone_cache=cache, **kwargs)
-                for mix in mixes
-            ]
+            if campaign is not None:
+                runs = [
+                    campaign.run_mix(
+                        mix,
+                        cfg,
+                        quanta=quanta,
+                        variant=f"{cores}cores-{scheme}",
+                        alone_cache=cache,
+                        **kwargs,
+                    )
+                    for mix in mixes
+                ]
+            else:
+                runs = [
+                    run_workload(mix, cfg, quanta=quanta, alone_cache=cache, **kwargs)
+                    for mix in mixes
+                ]
             result.outcomes[(cores, scheme)] = fairness_of_runs(runs)
     return result

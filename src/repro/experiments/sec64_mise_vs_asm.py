@@ -70,6 +70,7 @@ def run(
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 42,
+    campaign=None,
 ) -> MiseVsAsmResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
@@ -77,5 +78,7 @@ def run(
         "mise": lambda: MiseModel(),
         "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets),
     }
-    survey = survey_errors(mixes, config, factories, quanta=quanta)
+    survey = survey_errors(
+        mixes, config, factories, quanta=quanta, campaign=campaign
+    )
     return MiseVsAsmResult(survey=survey)

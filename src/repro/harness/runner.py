@@ -28,6 +28,7 @@ from repro.harness.system import System
 from repro.harness import metrics
 from repro.mem.schedulers import Scheduler
 from repro.models.base import SlowdownModel
+from repro.resilience.watchdog import QuantumWatchdog
 from repro.workloads.mixes import WorkloadMix
 
 ModelFactory = Callable[[], SlowdownModel]
@@ -52,14 +53,26 @@ class AloneProfile:
             return 0.0
         insts = self.instructions
         interval = self.checkpoint_interval
+        if not insts:
+            # Nothing was profiled; assume one instruction per cycle rather
+            # than crashing (the caller converts the resulting span to NaN
+            # ground truth if it is meaningless).
+            return float(instruction)
         index = bisect.bisect_left(insts, instruction)
         if index >= len(insts):
-            # Extrapolate with the slope of the last profiled interval.
-            if len(insts) >= 2:
-                slope = insts[-1] - insts[-2]
-            else:
-                slope = insts[-1] if insts else 1
-            slope = max(slope, 1)
+            # Extrapolate with the slope of the last profiled interval. A
+            # flat tail (the alone run stalled or its trace ended) would
+            # make that slope zero; clamping it to 1 instruction/interval
+            # used to charge ``interval`` cycles per extrapolated
+            # instruction — wildly distorting alone cycles — so fall back
+            # to the whole-profile average rate instead.
+            slope = insts[-1] - insts[-2] if len(insts) >= 2 else insts[-1]
+            if slope <= 0:
+                slope = insts[-1] / len(insts)
+            if slope <= 0:
+                # The profiled run never committed anything: instructions
+                # beyond the profile are unreachable in alone time.
+                return float("inf")
             extra = (instruction - insts[-1]) / slope
             return (len(insts) + extra) * interval
         prev_inst = insts[index - 1] if index > 0 else 0
@@ -109,6 +122,16 @@ class AloneRunCache:
             config.dram,
         )
 
+    @classmethod
+    def _key(
+        cls,
+        mix: WorkloadMix,
+        core: int,
+        config: SystemConfig,
+        cycles: int,
+    ) -> tuple:
+        return (mix.specs[core], mix.seed, core, cls._config_key(config), cycles)
+
     def get(
         self,
         mix: WorkloadMix,
@@ -116,8 +139,7 @@ class AloneRunCache:
         config: SystemConfig,
         cycles: int,
     ) -> AloneProfile:
-        spec = mix.specs[core]
-        key = (spec, mix.seed, core, self._config_key(config), cycles)
+        key = self._key(mix, core, config, cycles)
         profile = self._profiles.get(key)
         if profile is None:
             profile = run_alone(mix.trace_for_core(core), config, cycles)
@@ -198,9 +220,23 @@ def run_workload(
     alone_cache: Optional[AloneRunCache] = None,
     enable_epochs: bool = True,
     epoch_assignment: str = "random",
+    check_invariants: bool = False,
+    wall_clock_budget_s: Optional[float] = None,
+    system_hooks: Sequence[Callable[[System], None]] = (),
 ) -> RunResult:
     """Run ``mix`` for ``quanta`` quanta with the given models/policies and
-    compute per-quantum ground-truth slowdowns."""
+    compute per-quantum ground-truth slowdowns.
+
+    ``check_invariants`` attaches a
+    :class:`repro.resilience.invariants.InvariantChecker` that validates
+    platform conservation laws at every quantum boundary.
+    ``wall_clock_budget_s`` bounds the real time each quantum may take;
+    independently, a stall watchdog always turns a dead quantum (drained
+    event queue, stopped engine, zero progress) into a diagnosable error
+    instead of letting :meth:`Engine.run` silently clamp time.
+    ``system_hooks`` are called with the constructed :class:`System` before
+    the run starts (fault injectors, extra instrumentation).
+    """
     config = dataclasses.replace(config, num_cores=mix.num_cores)
     config.validate()
     scheduler = scheduler_factory() if scheduler_factory else None
@@ -218,6 +254,16 @@ def run_workload(
         policy = factory(models)
         policy.attach(system)
         policies.append(policy)
+    for hook in system_hooks:
+        hook(system)
+
+    checker = None
+    if check_invariants:
+        from repro.resilience.invariants import InvariantChecker
+
+        checker = InvariantChecker(system, models=list(models.values()))
+        checker.attach()
+    watchdog = QuantumWatchdog(wall_clock_budget_s)
 
     total_cycles = quanta * config.quantum_cycles
     # Explicit None check: an empty AloneRunCache is falsy (len == 0).
@@ -230,8 +276,9 @@ def run_workload(
     records: List[QuantumRecord] = []
     prev_instructions = [0] * mix.num_cores
     for q in range(quanta):
-        system.run_quantum()
+        system.run_quantum(wall_deadline=watchdog.next_deadline())
         instructions = system.committed_instructions()
+        watchdog.check_quantum(system, prev_instructions, instructions, q)
         actual: List[float] = []
         shared_ipc: List[float] = []
         for core in range(mix.num_cores):
@@ -243,10 +290,12 @@ def run_workload(
             alone_cycles = profiles[core].cycles_for_span(
                 prev_instructions[core], instructions[core]
             )
-            if alone_cycles <= 0:
+            if alone_cycles <= 0 or not math.isfinite(alone_cycles):
                 actual.append(float("nan"))
             else:
                 actual.append(config.quantum_cycles / alone_cycles)
+        if checker is not None:
+            checker.check_actual_slowdowns(actual, q)
         record = QuantumRecord(
             index=q,
             instructions=list(instructions),

@@ -289,13 +289,20 @@ class System:
         if self._epochs_enabled:
             self._start_epoch()
 
-    def run_until(self, time: int) -> None:
+    def run_until(self, time: int, wall_deadline: Optional[float] = None) -> None:
         self.start()
-        self.engine.run(until=time)
+        self.engine.run(until=time, wall_deadline=wall_deadline)
 
-    def run_quantum(self) -> None:
-        """Advance exactly one quantum and fire quantum listeners."""
-        self.run_until(self.engine.now + self.config.quantum_cycles)
+    def run_quantum(self, wall_deadline: Optional[float] = None) -> None:
+        """Advance exactly one quantum and fire quantum listeners.
+
+        ``wall_deadline`` (absolute ``time.monotonic`` seconds) bounds the
+        real time the quantum may take; see :meth:`repro.engine.Engine.run`.
+        """
+        self.run_until(
+            self.engine.now + self.config.quantum_cycles,
+            wall_deadline=wall_deadline,
+        )
         for listener in self.quantum_listeners:
             listener()
 

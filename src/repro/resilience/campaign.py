@@ -1,0 +1,338 @@
+"""Checkpoint/resume for experiment campaigns.
+
+A campaign is a sweep of per-mix runs (one experiment driver invocation).
+Every completed run is persisted as one JSON line under
+``results/.campaign/<experiment>/`` keyed by (experiment, variant, mix
+name, mix seed, config fingerprint, quanta), so an interrupted campaign
+resumes without recomputing finished mixes — resumed results deserialize
+to the exact values the original run produced. The (expensive) alone-run
+profiles are persisted the same way and shared across resumes.
+
+Store layout::
+
+    results/.campaign/<experiment>/
+        runs.jsonl      completed per-mix results, one JSON object per line
+        alone.jsonl     memoised alone-run profiles
+        failures.jsonl  captured RunFailure records (replayable)
+
+Appending one line per completed run (with a flush) makes the store robust
+to being killed mid-write: a torn trailing line is skipped on load and the
+corresponding mix is simply recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.harness.runner import (
+    AloneProfile,
+    AloneRunCache,
+    QuantumRecord,
+    RunResult,
+    run_alone,
+    run_workload,
+)
+from repro.resilience.faults import (
+    RunFailure,
+    config_fingerprint,
+    failure_table,
+    stable_hash,
+)
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.synthetic import AppSpec
+
+
+def _read_jsonl(path: str) -> List[dict]:
+    """Load a JSONL file, skipping corrupt (torn) lines."""
+    records: List[dict] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue  # torn write from an interrupted campaign
+    return records
+
+
+def _append_jsonl(path: str, record: dict) -> None:
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def mix_to_json(mix: WorkloadMix) -> dict:
+    return {
+        "name": mix.name,
+        "seed": mix.seed,
+        "specs": [dataclasses.asdict(spec) for spec in mix.specs],
+    }
+
+
+def mix_from_json(data: dict) -> WorkloadMix:
+    return WorkloadMix(
+        name=data["name"],
+        specs=tuple(AppSpec(**spec) for spec in data["specs"]),
+        seed=data["seed"],
+    )
+
+
+def result_to_json(result: RunResult) -> dict:
+    return {
+        "mix": mix_to_json(result.mix),
+        "records": [
+            {
+                "index": r.index,
+                "instructions": r.instructions,
+                "shared_ipc": r.shared_ipc,
+                "actual_slowdowns": r.actual_slowdowns,
+                "estimates": r.estimates,
+            }
+            for r in result.records
+        ],
+    }
+
+
+def result_from_json(data: dict, config: SystemConfig) -> RunResult:
+    records = [
+        QuantumRecord(
+            index=r["index"],
+            instructions=list(r["instructions"]),
+            shared_ipc=list(r["shared_ipc"]),
+            actual_slowdowns=list(r["actual_slowdowns"]),
+            estimates={k: list(v) for k, v in r["estimates"].items()},
+        )
+        for r in data["records"]
+    ]
+    mix = mix_from_json(data["mix"])
+    config = dataclasses.replace(config, num_cores=mix.num_cores)
+    return RunResult(mix=mix, config=config, records=records)
+
+
+class CampaignStore:
+    """Append-only JSONL store for one experiment's campaign state."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._runs_path = os.path.join(root, "runs.jsonl")
+        self._alone_path = os.path.join(root, "alone.jsonl")
+        self._failures_path = os.path.join(root, "failures.jsonl")
+        # Last record wins so a recomputed key supersedes stale entries.
+        self._runs: Dict[str, dict] = {
+            r["key"]: r["result"]
+            for r in _read_jsonl(self._runs_path)
+            if "key" in r and "result" in r
+        }
+        self._alone: Dict[str, dict] = {
+            r["key"]: r
+            for r in _read_jsonl(self._alone_path)
+            if "key" in r and "instructions" in r
+        }
+
+    # -- per-mix results ------------------------------------------------
+    def get_run(self, key: str) -> Optional[dict]:
+        return self._runs.get(key)
+
+    def put_run(self, key: str, result: dict) -> None:
+        self._runs[key] = result
+        _append_jsonl(self._runs_path, {"key": key, "result": result})
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    # -- alone profiles -------------------------------------------------
+    def get_alone(self, key: str) -> Optional[AloneProfile]:
+        record = self._alone.get(key)
+        if record is None:
+            return None
+        return AloneProfile(record["interval"], list(record["instructions"]))
+
+    def put_alone(self, key: str, profile: AloneProfile) -> None:
+        record = {
+            "key": key,
+            "interval": profile.checkpoint_interval,
+            "instructions": profile.instructions,
+        }
+        self._alone[key] = record
+        _append_jsonl(self._alone_path, record)
+
+    # -- failures -------------------------------------------------------
+    def append_failure(self, failure: RunFailure) -> None:
+        _append_jsonl(self._failures_path, failure.to_json())
+
+    def load_failures(self) -> List[RunFailure]:
+        return [RunFailure.from_json(r) for r in _read_jsonl(self._failures_path)]
+
+
+class PersistentAloneRunCache(AloneRunCache):
+    """An :class:`AloneRunCache` that writes through to a campaign store."""
+
+    def __init__(self, store: CampaignStore) -> None:
+        super().__init__()
+        self._store = store
+
+    def get(
+        self,
+        mix: WorkloadMix,
+        core: int,
+        config: SystemConfig,
+        cycles: int,
+    ) -> AloneProfile:
+        key = self._key(mix, core, config, cycles)
+        profile = self._profiles.get(key)
+        if profile is None:
+            hashed = stable_hash(key)
+            profile = self._store.get_alone(hashed)
+            if profile is None:
+                profile = run_alone(mix.trace_for_core(core), config, cycles)
+                self._store.put_alone(hashed, profile)
+            self._profiles[key] = profile
+        return profile
+
+
+class Campaign:
+    """Fault isolation + checkpoint/resume around a sweep of per-mix runs.
+
+    Experiment drivers call :meth:`run_mix` instead of ``run_workload``;
+    the campaign then
+
+    * returns the persisted result without simulating when ``resume`` is
+      set and the (mix, config, quanta) cell is already in the store;
+    * captures any per-mix exception as a replayable :class:`RunFailure`
+      and keeps going when ``keep_going`` is set (the failed mix yields
+      ``None``);
+    * threads ``check_invariants`` / ``wall_clock_budget_s`` into every
+      run it launches;
+    * persists each freshly computed result before moving on.
+
+    With ``store_dir=None`` the campaign keeps fault isolation but skips
+    persistence (useful for tests and ad-hoc sweeps).
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        store_dir: Optional[str] = None,
+        *,
+        resume: bool = False,
+        keep_going: bool = False,
+        check_invariants: bool = False,
+        wall_clock_budget_s: Optional[float] = None,
+    ) -> None:
+        self.experiment = experiment
+        self.store = CampaignStore(store_dir) if store_dir else None
+        self.resume = resume
+        self.keep_going = keep_going
+        self.check_invariants = check_invariants
+        self.wall_clock_budget_s = wall_clock_budget_s
+        self.failures: List[RunFailure] = []
+        self.computed = 0
+        self.resumed = 0
+
+    # ------------------------------------------------------------------
+    def run_key(
+        self,
+        mix: WorkloadMix,
+        config: SystemConfig,
+        quanta: int,
+        variant: str = "",
+    ) -> str:
+        return stable_hash(
+            (
+                self.experiment,
+                variant,
+                mix.name,
+                mix.seed,
+                config_fingerprint(config),
+                quanta,
+            )
+        )
+
+    def alone_cache(self) -> AloneRunCache:
+        """The campaign's alone-run cache (persistent when storing)."""
+        if self.store is not None:
+            return PersistentAloneRunCache(self.store)
+        return AloneRunCache()
+
+    def run_mix(
+        self,
+        mix: WorkloadMix,
+        config: SystemConfig,
+        *,
+        quanta: int = 1,
+        variant: str = "",
+        **run_kwargs,
+    ) -> Optional[RunResult]:
+        """Run one mix under the campaign's fault/checkpoint discipline.
+
+        Returns the :class:`RunResult`, or ``None`` when the run failed and
+        ``keep_going`` captured it."""
+        key = self.run_key(mix, config, quanta, variant)
+        if self.resume and self.store is not None:
+            cached = self.store.get_run(key)
+            if cached is not None:
+                self.resumed += 1
+                return result_from_json(cached, config)
+        try:
+            result = run_workload(
+                mix,
+                config,
+                quanta=quanta,
+                check_invariants=self.check_invariants,
+                wall_clock_budget_s=self.wall_clock_budget_s,
+                **run_kwargs,
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            failure = RunFailure.from_exception(
+                exc,
+                experiment=self.experiment,
+                variant=variant,
+                mix=mix,
+                config=config,
+                quanta=quanta,
+            )
+            self.failures.append(failure)
+            if self.store is not None:
+                self.store.append_failure(failure)
+            if not self.keep_going:
+                raise
+            return None
+        if self.store is not None:
+            self.store.put_run(key, result_to_json(result))
+        self.computed += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def failure_summary(self) -> str:
+        return failure_table(self.failures)
+
+    def summary(self) -> str:
+        parts = [f"{self.computed} computed"]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
+        return f"campaign {self.experiment}: " + ", ".join(parts)
+
+
+__all__ = [
+    "Campaign",
+    "CampaignStore",
+    "PersistentAloneRunCache",
+    "mix_from_json",
+    "mix_to_json",
+    "result_from_json",
+    "result_to_json",
+]

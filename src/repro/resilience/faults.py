@@ -1,0 +1,160 @@
+"""Structured failure records for fault-isolated experiment campaigns.
+
+A campaign sweeping many workload mixes should survive one crashing mix.
+When a per-mix run raises, the campaign captures a :class:`RunFailure`
+carrying everything needed to *deterministically replay* the failing run —
+the full application specs, the mix seed, a fingerprint of the platform
+configuration and the quantum count — alongside the exception and
+traceback. Campaigns finish with a failure-summary table, and
+:func:`replay_failure` re-runs a recorded failure in isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.synthetic import AppSpec
+
+
+def stable_hash(obj: object) -> str:
+    """Deterministic short hex digest of ``repr(obj)``.
+
+    Safe for (nested) frozen dataclasses, tuples, ints and strings, whose
+    reprs are stable across processes — unlike ``hash()``, which is
+    randomised per interpreter for strings.
+    """
+    return hashlib.sha256(repr(obj).encode("utf-8")).hexdigest()[:16]
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Fingerprint of the full platform configuration.
+
+    Two runs with equal fingerprints simulate identical platforms, so the
+    fingerprint keys checkpoint stores and failure-replay records.
+    """
+    return stable_hash(config)
+
+
+@dataclass
+class RunFailure:
+    """One captured per-mix failure, sufficient for deterministic replay."""
+
+    experiment: str
+    variant: str
+    mix_name: str
+    mix_seed: int
+    specs: List[dict]  # full AppSpec fields, one dict per core
+    config_fingerprint: str
+    quanta: int
+    error_type: str
+    message: str
+    traceback: str = ""
+    diagnosis: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        *,
+        experiment: str,
+        variant: str,
+        mix: WorkloadMix,
+        config: SystemConfig,
+        quanta: int,
+    ) -> "RunFailure":
+        diagnosis = getattr(exc, "diagnosis", None)
+        return cls(
+            experiment=experiment,
+            variant=variant,
+            mix_name=mix.name,
+            mix_seed=mix.seed,
+            specs=[dataclasses.asdict(spec) for spec in mix.specs],
+            config_fingerprint=config_fingerprint(config),
+            quanta=quanta,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            diagnosis=dict(diagnosis) if isinstance(diagnosis, dict) else {},
+        )
+
+    def fingerprint(self) -> str:
+        """Identity of the failing (experiment, mix, platform, length) cell."""
+        return stable_hash(
+            (
+                self.experiment,
+                self.variant,
+                self.mix_name,
+                self.mix_seed,
+                self.config_fingerprint,
+                self.quanta,
+            )
+        )
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunFailure":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+def rebuild_mix(failure: RunFailure) -> WorkloadMix:
+    """Reconstruct the exact failing workload mix from a failure record."""
+    specs = tuple(AppSpec(**spec) for spec in failure.specs)
+    return WorkloadMix(name=failure.mix_name, specs=specs, seed=failure.mix_seed)
+
+
+def replay_failure(failure: RunFailure, config: SystemConfig, **run_kwargs):
+    """Re-run the failing mix on ``config`` (which must match the recorded
+    fingerprint) — the deterministic simulator reproduces the failure, or a
+    fixed build proves it is gone. Extra kwargs pass to ``run_workload``."""
+    recorded = failure.config_fingerprint
+    actual = config_fingerprint(config)
+    if recorded != actual:
+        raise ValueError(
+            f"config fingerprint mismatch: failure was recorded on "
+            f"{recorded}, replay config is {actual}"
+        )
+    from repro.harness.runner import run_workload
+
+    run_kwargs.setdefault("quanta", failure.quanta)
+    return run_workload(rebuild_mix(failure), config, **run_kwargs)
+
+
+def failure_table(failures: Sequence[RunFailure]) -> str:
+    """Plain-text summary table of a campaign's captured failures."""
+    from repro.experiments.common import format_table
+
+    rows = [
+        [
+            f.variant or f.experiment,
+            f.mix_name,
+            f.mix_seed,
+            f.error_type,
+            f.fingerprint(),
+            f.message if len(f.message) <= 60 else f.message[:57] + "...",
+        ]
+        for f in failures
+    ]
+    return format_table(
+        ["variant", "mix", "seed", "error", "fingerprint", "message"], rows
+    )
+
+
+__all__ = [
+    "RunFailure",
+    "config_fingerprint",
+    "failure_table",
+    "rebuild_mix",
+    "replay_failure",
+    "stable_hash",
+]

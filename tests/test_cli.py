@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import DESCRIPTIONS, EXPERIMENTS, build_parser, main
 
 
@@ -16,20 +14,64 @@ def test_list_command(capsys):
         assert name in out
 
 
-def test_parser_rejects_unknown_experiment():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["figNaN"])
+def test_unknown_experiment_lists_valid_names(capsys):
+    assert main(["figNaN"]) == 2
+    err = capsys.readouterr().err
+    assert "figNaN" in err
+    for name in EXPERIMENTS:
+        assert name in err
+
+
+def test_parser_accepts_resilience_flags():
+    args = build_parser().parse_args(
+        ["fig02", "--resume", "--keep-going", "--check-invariants",
+         "--seed", "7", "--campaign-dir", ""]
+    )
+    assert args.resume and args.keep_going and args.check_invariants
+    assert args.seed == 7
+    assert args.campaign_dir == ""
 
 
 def test_db_experiment_end_to_end(capsys, tmp_path):
     out_file = tmp_path / "db.txt"
-    code = main(["db", "--mixes", "1", "--quanta", "1", "--out", str(out_file)])
+    code = main([
+        "db", "--mixes", "1", "--quanta", "1",
+        "--out", str(out_file),
+        "--campaign-dir", str(tmp_path / "campaign"),
+    ])
     assert code == 0
     printed = capsys.readouterr().out
     assert "mean_err%" in printed
+    assert "campaign db:" in printed
     assert out_file.read_text().strip()
+    assert (tmp_path / "campaign" / "db" / "runs.jsonl").exists()
 
 
-def test_fig11_experiment_runs(capsys):
-    assert main(["fig11", "--quanta", "1"]) == 0
+def test_cli_resume_reuses_checkpoints(capsys, tmp_path):
+    argv = [
+        "db", "--mixes", "1", "--quanta", "1",
+        "--campaign-dir", str(tmp_path / "campaign"),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "1 resumed" in second
+    # The resumed table is byte-for-byte the freshly computed one.
+    assert first.split("\n[db finished")[0] == second.split("\n[db finished")[0]
+
+
+def test_cli_seed_changes_mixes(capsys, tmp_path):
+    base = ["db", "--mixes", "1", "--quanta", "1",
+            "--campaign-dir", str(tmp_path / "c")]
+    assert main(base + ["--seed", "1"]) == 0
+    one = capsys.readouterr().out
+    assert main(base + ["--seed", "2"]) == 0
+    two = capsys.readouterr().out
+    assert one.split("finished in")[0] != two.split("finished in")[0]
+
+
+def test_fig11_experiment_runs(capsys, tmp_path):
+    assert main(["fig11", "--quanta", "1",
+                 "--campaign-dir", str(tmp_path / "c")]) == 0
     assert "naive-qos" in capsys.readouterr().out

@@ -29,6 +29,30 @@ def test_alone_profile_extrapolates_past_range():
     assert profile.time_at(125) == pytest.approx(250.0)
 
 
+def test_alone_profile_empty_assumes_one_ipc():
+    profile = AloneProfile(checkpoint_interval=100, instructions=[])
+    assert profile.time_at(0) == 0.0
+    assert profile.time_at(250) == 250.0
+
+
+def test_alone_profile_single_checkpoint_extrapolates():
+    profile = AloneProfile(checkpoint_interval=100, instructions=[50])
+    # Only one checkpoint: extrapolate with its own rate (50 per 100 cycles).
+    assert profile.time_at(100) == pytest.approx(200.0)
+
+
+def test_alone_profile_flat_tail_uses_average_rate():
+    # The run stalled at 60 instructions: the last interval's slope is 0.
+    profile = AloneProfile(checkpoint_interval=10, instructions=[30, 60, 60])
+    # Whole-profile average: 60 insts over 3 checkpoints = 20 per interval.
+    assert profile.time_at(80) == pytest.approx((3 + 20 / 20) * 10)
+
+
+def test_alone_profile_zero_progress_is_unreachable():
+    profile = AloneProfile(checkpoint_interval=10, instructions=[0, 0])
+    assert profile.time_at(5) == float("inf")
+
+
 def test_alone_profile_cycles_for_span_monotone():
     profile = AloneProfile(checkpoint_interval=10, instructions=[10, 30, 60])
     assert profile.cycles_for_span(10, 30) == pytest.approx(10.0)
