@@ -19,6 +19,13 @@ from repro.config import CacheConfig
 # Called as eviction_listener(victim_line_addr, victim_owner, evictor_core).
 EvictionListener = Callable[[int, int, int], None]
 
+# Shared result objects for the outcomes that carry no per-access payload.
+# ``access``/``allocate`` sit on the simulator's hottest path; callers treat
+# the result as read-only, so one allocation can serve every hit and every
+# victimless miss.
+_HIT = AccessResult(hit=True)
+_MISS_NO_VICTIM = AccessResult(hit=False)
+
 
 class SharedCache:
     """A shared, optionally way-partitioned, set-associative LRU cache."""
@@ -66,14 +73,17 @@ class SharedCache:
         return cache_set.find(tag) is not None
 
     def access(self, core: int, line_addr: int, is_write: bool = False) -> AccessResult:
-        cache_set, tag = self._set_and_tag(line_addr)
+        num_sets = self.num_sets
+        index = line_addr % num_sets
+        cache_set = self.sets[index]
+        tag = line_addr // num_sets
         line = cache_set.find(tag)
         if line is not None:
             self.hits[core] += 1
             cache_set.touch(line)
             if is_write:
                 line.dirty = True
-            return AccessResult(hit=True)
+            return _HIT
 
         self.misses[core] += 1
         new_line = Line(tag, owner=core, dirty=is_write)
@@ -82,8 +92,8 @@ class SharedCache:
         else:
             victim = cache_set.insert_with_quota(new_line, self.partition)
         if victim is None:
-            return AccessResult(hit=False)
-        victim_addr = victim.tag * self.num_sets + (line_addr % self.num_sets)
+            return _MISS_NO_VICTIM
+        victim_addr = victim.tag * num_sets + index
         for listener in self._eviction_listeners:
             listener(victim_addr, victim.owner, core)
         return AccessResult(
@@ -101,14 +111,14 @@ class SharedCache:
         """
         cache_set, tag = self._set_and_tag(line_addr)
         if cache_set.find(tag) is not None:
-            return AccessResult(hit=True)
+            return _HIT
         new_line = Line(tag, owner=core, dirty=False)
         if self.partition is None:
             victim = cache_set.insert(new_line)
         else:
             victim = cache_set.insert_with_quota(new_line, self.partition)
         if victim is None:
-            return AccessResult(hit=False)
+            return _MISS_NO_VICTIM
         victim_addr = victim.tag * self.num_sets + (line_addr % self.num_sets)
         for listener in self._eviction_listeners:
             listener(victim_addr, victim.owner, core)

@@ -61,6 +61,7 @@ def _with_scale(run, **fixed):
         kwargs.update(_supported(run, extras))
         return run(**kwargs)
 
+    runner.supports = set(inspect.signature(run).parameters)
     return runner
 
 
@@ -74,6 +75,7 @@ def _per_core_count(run):
         kwargs.update(_supported(run, extras))
         return run(**kwargs)
 
+    runner.supports = set(inspect.signature(run).parameters)
     return runner
 
 
@@ -85,6 +87,7 @@ def _fixed_scale(run):
         kwargs.update(_supported(run, extras))
         return run(**kwargs)
 
+    runner.supports = set(inspect.signature(run).parameters)
     return runner
 
 
@@ -161,6 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="abort any quantum exceeding this wall-clock "
                              "budget (per run_quantum call)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for per-mix fan-out "
+                             "(1 = serial; results are identical)")
     return parser
 
 
@@ -199,12 +205,20 @@ def main(argv=None) -> int:
         wall_clock_budget_s=args.wall_clock_budget,
     )
 
+    runner = EXPERIMENTS[args.experiment]
+    if args.workers > 1 and "workers" not in getattr(runner, "supports", ()):
+        sys.stderr.write(
+            f"repro: '{args.experiment}' does not support --workers; "
+            "running serially.\n"
+        )
+
     start = time.time()
-    result = EXPERIMENTS[args.experiment](
+    result = runner(
         args.mixes or None,
         args.quanta or None,
         seed=args.seed,
         campaign=campaign,
+        workers=args.workers if args.workers > 1 else None,
     )
     table = result.format_table()
     print(table)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from functools import cached_property
 
 CACHE_LINE_SIZE = 64
 CACHE_LINE_BITS = 6
@@ -36,11 +37,11 @@ class CacheConfig:
     latency: int
     line_size: int = CACHE_LINE_SIZE
 
-    @property
+    @cached_property
     def num_lines(self) -> int:
         return self.size_bytes // self.line_size
 
-    @property
+    @cached_property
     def num_sets(self) -> int:
         return self.num_lines // self.associativity
 
@@ -85,23 +86,27 @@ class DramConfig:
     trefi_dram_cycles: int = 5200
     trfc_dram_cycles: int = 107
 
-    @property
+    # Derived CPU-cycle latencies are cached: they sit on the per-request
+    # service path, and ``cached_property`` writes straight into the
+    # instance ``__dict__``, which works on a frozen dataclass (fields,
+    # repr, equality and hashing are unaffected).
+    @cached_property
     def cas_latency(self) -> int:
         return self.cl_dram_cycles * self.cpu_cycles_per_dram_cycle
 
-    @property
+    @cached_property
     def trcd(self) -> int:
         return self.trcd_dram_cycles * self.cpu_cycles_per_dram_cycle
 
-    @property
+    @cached_property
     def trp(self) -> int:
         return self.trp_dram_cycles * self.cpu_cycles_per_dram_cycle
 
-    @property
+    @cached_property
     def tras(self) -> int:
         return self.tras_dram_cycles * self.cpu_cycles_per_dram_cycle
 
-    @property
+    @cached_property
     def burst_time(self) -> int:
         return self.burst_dram_cycles * self.cpu_cycles_per_dram_cycle
 

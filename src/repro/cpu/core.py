@@ -48,6 +48,12 @@ class Core:
         self.config = config
         self.trace = trace
         self.hierarchy_access = hierarchy_access
+        # The issue loop reads these once per instruction; plain attributes
+        # are one lookup cheaper than going through the config dataclass.
+        self._window_size = config.window_size
+        self._issue_width = config.issue_width
+        self._mshr_entries = config.mshr_entries
+        self._window_credit = config.window_size // config.issue_width
 
         self.position = 0  # instructions issued so far
         self.frontend_time = 0  # cycle up to which the frontend has issued
@@ -82,12 +88,16 @@ class Core:
     def _advance(self) -> None:
         self._advance_scheduled = False
         now = self.engine.now
-        config = self.config
         outstanding = self.outstanding
+        window_size = self._window_size
+        issue_width = self._issue_width
+        mshr_entries = self._mshr_entries
+        trace = self.trace
+        popleft = outstanding.popleft
 
         while True:
             if self._next_record is None:
-                record = next(self.trace, None)
+                record = next(trace, None)
                 if record is None:
                     self.finished = True
                     return
@@ -99,19 +109,18 @@ class Core:
                 self._next_record = record
             record = self._next_record
 
-            while (
-                outstanding
-                and outstanding[0][_COMPLETION] is not None
-                and outstanding[0][_COMPLETION] <= now
-            ):
-                outstanding.popleft()
+            while outstanding:
+                head_done = outstanding[0][_COMPLETION]
+                if head_done is None or head_done > now:
+                    break
+                popleft()
 
             issue_position = self.position + record.gap + 1
             # Instructions head..issue_position inclusive must fit in the
             # window, i.e. span (issue - head + 1) <= window_size.
             if (
                 outstanding
-                and issue_position - outstanding[0][_POSITION] >= config.window_size
+                and issue_position - outstanding[0][_POSITION] >= window_size
             ):
                 head_completion = outstanding[0][_COMPLETION]
                 if head_completion is None:
@@ -121,12 +130,12 @@ class Core:
                     self._schedule_advance(head_completion)
                 return
 
-            if self.inflight_misses >= config.mshr_entries:
+            if self.inflight_misses >= mshr_entries:
                 self._waiting_for_fill = True
                 return
 
             frontend_done = self.frontend_time + (
-                (record.gap + 1 + config.issue_width - 1) // config.issue_width
+                (record.gap + issue_width) // issue_width
             )
             if frontend_done > now:
                 self._schedule_advance(frontend_done)
@@ -160,9 +169,9 @@ class Core:
         instruction window: while the window head blocks until
         ``resume_time``, at most ``window_size`` instructions' worth of
         fetch can be banked."""
-        config = self.config
-        window_credit = config.window_size // config.issue_width
-        self.frontend_time = max(self.frontend_time, resume_time - window_credit)
+        resume_floor = resume_time - self._window_credit
+        if resume_floor > self.frontend_time:
+            self.frontend_time = resume_floor
 
     def _on_fill(self, entry: List[Optional[int]], time: int) -> None:
         entry[_COMPLETION] = time

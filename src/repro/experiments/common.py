@@ -97,12 +97,18 @@ class ErrorSurvey:
 def survey_errors(
     mixes: Sequence[WorkloadMix],
     config: SystemConfig,
-    model_factories: Dict[str, ModelFactory],
+    model_factories: Optional[Dict[str, ModelFactory]] = None,
     quanta: int = 2,
     alone_cache: Optional[AloneRunCache] = None,
     scheduler_factory: Optional[Callable] = None,
     campaign: Optional["Campaign"] = None,
     variant: str = "",
+    *,
+    workers: int = 1,
+    model_builder: Optional[Callable[..., Dict[str, ModelFactory]]] = None,
+    model_builder_args: Sequence = (),
+    scheduler_builder: Optional[Callable] = None,
+    scheduler_builder_args: Sequence = (),
 ) -> ErrorSurvey:
     """Run every mix and collect estimation errors for every model.
 
@@ -111,8 +117,52 @@ def survey_errors(
     are resumed from the store, failing mixes are captured (and skipped
     when the campaign keeps going) instead of aborting the survey, and
     ``variant`` disambiguates multiple surveys within one experiment.
+
+    ``workers > 1`` fans the mixes out across worker processes (see
+    :mod:`repro.parallel`); results are identical to a serial survey. The
+    parallel path needs picklable recipes instead of closures: a
+    module-level ``model_builder`` called as
+    ``model_builder(*model_builder_args)`` (and likewise for the
+    scheduler). When only a builder is given, the serial path uses it too.
     """
+    if model_factories is None:
+        if model_builder is None:
+            raise ValueError(
+                "survey_errors needs model_factories or a model_builder"
+            )
+        model_factories = model_builder(*model_builder_args)
     survey = ErrorSurvey(model_names=list(model_factories))
+    if workers > 1:
+        if model_builder is None:
+            raise ValueError(
+                "workers > 1 requires a picklable module-level model_builder"
+            )
+        if scheduler_factory is not None and scheduler_builder is None:
+            raise ValueError(
+                "workers > 1 requires a picklable scheduler_builder "
+                "instead of scheduler_factory"
+            )
+        from repro.parallel import CellSpec
+        from repro.resilience.campaign import Campaign
+
+        camp = campaign if campaign is not None else Campaign("adhoc-survey")
+        cells = [
+            CellSpec(
+                mix=mix,
+                config=config,
+                quanta=quanta,
+                variant=variant,
+                model_builder=model_builder,
+                model_builder_args=tuple(model_builder_args),
+                scheduler_builder=scheduler_builder,
+                scheduler_builder_args=tuple(scheduler_builder_args),
+            )
+            for mix in mixes
+        ]
+        for result in camp.run_cells(cells, workers=workers):
+            if result is not None:
+                survey.add_run(result)
+        return survey
     # Explicit None check: an empty AloneRunCache is falsy (len == 0).
     if alone_cache is not None:
         cache = alone_cache

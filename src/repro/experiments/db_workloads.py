@@ -32,22 +32,33 @@ class DbWorkloadsResult:
         )
 
 
+def db_models(config: SystemConfig):
+    """Unsampled FST/PTCA vs sampled ASM (module-level: picklable)."""
+    return {
+        "fst": lambda: FstModel(filter_counters=None),
+        "ptca": lambda: PtcaModel(sampled_sets=None),
+        "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets),
+    }
+
+
 def run(
     num_mixes: int = 6,
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 99,
     campaign=None,
+    workers: int = 1,
 ) -> DbWorkloadsResult:
     config = config or scaled_config()
     pool = [s for s in CATALOG.values() if s.suite == "db"]
     mixes = random_mixes(num_mixes, config.num_cores, seed=seed, pool=pool)
-    factories = {
-        "fst": lambda: FstModel(filter_counters=None),
-        "ptca": lambda: PtcaModel(sampled_sets=None),
-        "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets),
-    }
     survey = survey_errors(
-        mixes, config, factories, quanta=quanta, campaign=campaign
+        mixes,
+        config,
+        quanta=quanta,
+        campaign=campaign,
+        workers=workers,
+        model_builder=db_models,
+        model_builder_args=(config,),
     )
     return DbWorkloadsResult(survey=survey)

@@ -58,16 +58,18 @@ def run(
     config: Optional[SystemConfig] = None,
     seed: int = 42,
     campaign=None,
+    workers: int = 1,
 ) -> ErrorComparisonResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
-    factories = sampled_models(config) if sampled else unsampled_models()
     survey = survey_errors(
         mixes,
         config,
-        factories,
         quanta=quanta,
         campaign=campaign,
         variant="sampled" if sampled else "unsampled",
+        workers=workers,
+        model_builder=sampled_models if sampled else unsampled_models,
+        model_builder_args=(config,) if sampled else (),
     )
     return ErrorComparisonResult(survey=survey, sampled=sampled)

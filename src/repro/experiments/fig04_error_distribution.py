@@ -58,10 +58,17 @@ def run(
     config: Optional[SystemConfig] = None,
     seed: int = 42,
     campaign=None,
+    workers: int = 1,
 ) -> ErrorDistributionResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
     survey = survey_errors(
-        mixes, config, headline_models(config), quanta=quanta, campaign=campaign
+        mixes,
+        config,
+        quanta=quanta,
+        campaign=campaign,
+        workers=workers,
+        model_builder=headline_models,
+        model_builder_args=(config,),
     )
     return ErrorDistributionResult(survey=survey)

@@ -48,12 +48,30 @@ def run(
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 42,
+    campaign=None,
+    workers: int = 1,
 ) -> PrefetchingResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
-    base = survey_errors(mixes, config, headline_models(config), quanta=quanta)
+    base = survey_errors(
+        mixes,
+        config,
+        quanta=quanta,
+        campaign=campaign,
+        variant="base",
+        workers=workers,
+        model_builder=headline_models,
+        model_builder_args=(config,),
+    )
     prefetch_config = config.with_prefetcher(True)
     pref = survey_errors(
-        mixes, prefetch_config, headline_models(prefetch_config), quanta=quanta
+        mixes,
+        prefetch_config,
+        quanta=quanta,
+        campaign=campaign,
+        variant="prefetch",
+        workers=workers,
+        model_builder=headline_models,
+        model_builder_args=(prefetch_config,),
     )
     return PrefetchingResult(with_prefetch=pref, without_prefetch=base)

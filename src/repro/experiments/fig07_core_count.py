@@ -50,6 +50,7 @@ def run(
     config: Optional[SystemConfig] = None,
     seed: int = 42,
     campaign=None,
+    workers: int = 1,
 ) -> CoreCountResult:
     config = config or scaled_config()
     mixes_per_count = mixes_per_count or {4: 8, 8: 5, 16: 3}
@@ -60,9 +61,11 @@ def run(
         result.surveys[cores] = survey_errors(
             mixes,
             cfg,
-            headline_models(cfg),
             quanta=quanta,
             campaign=campaign,
             variant=f"{cores}cores",
+            workers=workers,
+            model_builder=headline_models,
+            model_builder_args=(cfg,),
         )
     return result

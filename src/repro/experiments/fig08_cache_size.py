@@ -45,6 +45,7 @@ def run(
     config: Optional[SystemConfig] = None,
     seed: int = 42,
     campaign=None,
+    workers: int = 1,
 ) -> CacheSizeResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
@@ -54,9 +55,11 @@ def run(
         result.surveys[size] = survey_errors(
             mixes,
             cfg,
-            headline_models(cfg),
             quanta=quanta,
             campaign=campaign,
             variant=f"llc{size // 1024}k",
+            workers=workers,
+            model_builder=headline_models,
+            model_builder_args=(cfg,),
         )
     return result

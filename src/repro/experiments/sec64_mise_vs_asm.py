@@ -65,20 +65,31 @@ class MiseVsAsmResult:
         )
 
 
+def mise_vs_asm_models(config: SystemConfig):
+    """MISE against sampled ASM (module-level: picklable for workers)."""
+    return {
+        "mise": lambda: MiseModel(),
+        "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets),
+    }
+
+
 def run(
     num_mixes: int = 10,
     quanta: int = 2,
     config: Optional[SystemConfig] = None,
     seed: int = 42,
     campaign=None,
+    workers: int = 1,
 ) -> MiseVsAsmResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
-    factories = {
-        "mise": lambda: MiseModel(),
-        "asm": lambda: AsmModel(sampled_sets=config.ats_sampled_sets),
-    }
     survey = survey_errors(
-        mixes, config, factories, quanta=quanta, campaign=campaign
+        mixes,
+        config,
+        quanta=quanta,
+        campaign=campaign,
+        workers=workers,
+        model_builder=mise_vs_asm_models,
+        model_builder_args=(config,),
     )
     return MiseVsAsmResult(survey=survey)

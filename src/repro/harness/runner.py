@@ -20,6 +20,7 @@ from __future__ import annotations
 import bisect
 import dataclasses
 import math
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -108,10 +109,19 @@ def run_alone(
 
 
 class AloneRunCache:
-    """Memoises alone profiles keyed by (trace identity, config, length)."""
+    """Memoises alone profiles keyed by (trace identity, config, length).
+
+    Tracks how it was used: ``hits`` (served from memory), ``misses``
+    (computed via :func:`run_alone`) and ``store_hits`` (loaded from a
+    persistent backing store, where one exists). :meth:`summary` renders a
+    one-line account for campaign reports.
+    """
 
     def __init__(self) -> None:
         self._profiles: Dict[tuple, AloneProfile] = {}
+        self.hits = 0
+        self.misses = 0
+        self.store_hits = 0
 
     @staticmethod
     def _config_key(config: SystemConfig) -> tuple:
@@ -142,12 +152,83 @@ class AloneRunCache:
         key = self._key(mix, core, config, cycles)
         profile = self._profiles.get(key)
         if profile is None:
+            self.misses += 1
             profile = run_alone(mix.trace_for_core(core), config, cycles)
             self._profiles[key] = profile
+        else:
+            self.hits += 1
         return profile
+
+    def peek(
+        self,
+        mix: WorkloadMix,
+        core: int,
+        config: SystemConfig,
+        cycles: int,
+    ) -> Optional[AloneProfile]:
+        """The cached profile, or ``None`` — never computes one."""
+        return self._profiles.get(self._key(mix, core, config, cycles))
+
+    def seed_profile(
+        self,
+        mix: WorkloadMix,
+        core: int,
+        config: SystemConfig,
+        cycles: int,
+        profile: AloneProfile,
+    ) -> None:
+        """Install a profile computed elsewhere (e.g. a worker process)."""
+        self._profiles[self._key(mix, core, config, cycles)] = profile
+
+    def absorb(self, entries) -> None:
+        """Pre-seed with (key, profile) pairs exported by another cache."""
+        for key, profile in entries:
+            self._profiles[key] = profile
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+            "entries": len(self._profiles),
+        }
+
+    def summary(self) -> str:
+        line = (
+            f"alone-run cache: {self.hits} hits, {self.misses} computed"
+        )
+        if self.store_hits:
+            line += f", {self.store_hits} from store"
+        return line
 
     def __len__(self) -> int:
         return len(self._profiles)
+
+
+@dataclass
+class RunProfile:
+    """Lightweight wall-clock profile of one :func:`run_workload` call.
+
+    Collected only when a ``profile_sink`` is passed; the run itself is
+    not instrumented otherwise. ``events_per_second`` covers the shared
+    run's event loop (alone runs execute in their own engines and are
+    accounted as ``alone_time_s``)."""
+
+    wall_time_s: float
+    alone_time_s: float  # computing/fetching alone profiles
+    quantum_times_s: List[float]  # shared-run wall seconds per quantum
+    events_executed: int  # shared-run events across all quanta
+    events_per_second: float
+
+    def share(self, component: str) -> float:
+        """Fraction of total wall time spent in ``alone`` or ``shared``."""
+        if self.wall_time_s <= 0:
+            return float("nan")
+        if component == "alone":
+            return self.alone_time_s / self.wall_time_s
+        if component == "shared":
+            return sum(self.quantum_times_s) / self.wall_time_s
+        raise ValueError(f"unknown component {component!r}")
 
 
 @dataclass
@@ -223,6 +304,7 @@ def run_workload(
     check_invariants: bool = False,
     wall_clock_budget_s: Optional[float] = None,
     system_hooks: Sequence[Callable[[System], None]] = (),
+    profile_sink: Optional[Callable[[RunProfile], None]] = None,
 ) -> RunResult:
     """Run ``mix`` for ``quanta`` quanta with the given models/policies and
     compute per-quantum ground-truth slowdowns.
@@ -236,7 +318,11 @@ def run_workload(
     instead of letting :meth:`Engine.run` silently clamp time.
     ``system_hooks`` are called with the constructed :class:`System` before
     the run starts (fault injectors, extra instrumentation).
+    ``profile_sink`` opts into lightweight wall-clock profiling: after the
+    run it receives a :class:`RunProfile` with events/sec and the time
+    split between alone-profile work and the shared quanta.
     """
+    profile_start = _time.perf_counter() if profile_sink is not None else 0.0
     config = dataclasses.replace(config, num_cores=mix.num_cores)
     config.validate()
     scheduler = scheduler_factory() if scheduler_factory else None
@@ -268,15 +354,27 @@ def run_workload(
     total_cycles = quanta * config.quantum_cycles
     # Explicit None check: an empty AloneRunCache is falsy (len == 0).
     cache = alone_cache if alone_cache is not None else AloneRunCache()
+    alone_start = _time.perf_counter() if profile_sink is not None else 0.0
     profiles = [
         cache.get(mix, core, config, total_cycles + config.quantum_cycles)
         for core in range(mix.num_cores)
     ]
+    alone_time = (
+        _time.perf_counter() - alone_start if profile_sink is not None else 0.0
+    )
 
+    quantum_times: List[float] = []
+    shared_events = 0
     records: List[QuantumRecord] = []
     prev_instructions = [0] * mix.num_cores
     for q in range(quanta):
+        quantum_start = (
+            _time.perf_counter() if profile_sink is not None else 0.0
+        )
         system.run_quantum(wall_deadline=watchdog.next_deadline())
+        if profile_sink is not None:
+            quantum_times.append(_time.perf_counter() - quantum_start)
+            shared_events += system.engine.events_executed
         instructions = system.committed_instructions()
         watchdog.check_quantum(system, prev_instructions, instructions, q)
         actual: List[float] = []
@@ -307,4 +405,17 @@ def run_workload(
         records.append(record)
         prev_instructions = instructions
 
+    if profile_sink is not None:
+        shared_time = sum(quantum_times)
+        profile_sink(
+            RunProfile(
+                wall_time_s=_time.perf_counter() - profile_start,
+                alone_time_s=alone_time,
+                quantum_times_s=quantum_times,
+                events_executed=shared_events,
+                events_per_second=(
+                    shared_events / shared_time if shared_time > 0 else 0.0
+                ),
+            )
+        )
     return RunResult(mix=mix, config=config, records=records)

@@ -59,6 +59,7 @@ class MemoryHierarchy:
         self.config = config
         self.controller = controller
         self.llc = SharedCache(config.llc, config.num_cores)
+        self._llc_latency = config.llc.latency
         self.mshr: Dict[int, _MshrEntry] = {}
         self.access_listeners: List[AccessListener] = []
         self.service_listeners: List[ServiceListener] = []
@@ -83,7 +84,7 @@ class MemoryHierarchy:
         """Demand access from ``core``; returns the completion time when it
         is known immediately (hit), else ``None`` (``on_complete`` fires)."""
         now = self.engine.now
-        latency = self.config.llc.latency
+        latency = self._llc_latency
 
         entry = self.mshr.get(line_addr)
         if entry is not None:
@@ -104,7 +105,8 @@ class MemoryHierarchy:
         if result.hit:
             self.demand_hits[core] += 1
             completion = now + latency
-            self._notify_access(core, line_addr, is_write, True, now)
+            if self.access_listeners:
+                self._notify_access(core, line_addr, is_write, True, now)
             if self.service_listeners:
                 self._notify_service(core, True, True, now)
                 self.engine.schedule_at(

@@ -60,6 +60,14 @@ class MemoryController:
         if isinstance(self.scheduler, ParbsScheduler):
             self.scheduler.register_queues(self.read_queues)
         self._wake_scheduled = [False] * config.channels
+        # Issue-path constants and per-channel issue thunks, precomputed so
+        # the per-request path neither re-derives DDR timing nor allocates
+        # a fresh closure on every wake.
+        self._conflict_penalty = config.trp + config.trcd
+        self._burst = config.burst_time
+        self._issue_thunks = [
+            (lambda ch=ch: self._issue(ch)) for ch in range(config.channels)
+        ]
 
         self.priority_core: int = -1
         # Core whose queueing cycles are being accounted (normally the
@@ -145,7 +153,7 @@ class MemoryController:
     def _wake(self, channel: int) -> None:
         if not self._wake_scheduled[channel]:
             self._wake_scheduled[channel] = True
-            self.engine.schedule(0, lambda ch=channel: self._issue(ch))
+            self.engine.schedule(0, self._issue_thunks[channel])
 
     def _account_queueing(self, channel_idx: int, now: int) -> None:
         """Accrue Section 4.3 queueing cycles over the window since the last
@@ -252,11 +260,15 @@ class MemoryController:
         match, one data burst otherwise (bus serialisation). Also charge
         this request for a row conflict another core caused."""
         if conflict_other:
-            request.interference_cycles += self.config.trp + self.config.trcd
-        burst = self.config.burst_time
+            request.interference_cycles += self._conflict_penalty
+        queue = self.read_queues[channel_idx]
+        if not queue:
+            return
+        burst = self._burst
+        core = request.core
         oldest: dict = {}
-        for waiting in self.read_queues[channel_idx]:
-            if waiting.core == request.core:
+        for waiting in queue:
+            if waiting.core == core:
                 continue
             head = oldest.get(waiting.core)
             if head is None or waiting.arrival_time < head.arrival_time:

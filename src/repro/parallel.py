@@ -1,0 +1,351 @@
+"""Parallel fan-out of independent campaign cells across worker processes.
+
+A *cell* is one (mix, config, quanta, variant) simulation together with the
+recipes for its slowdown models and memory scheduler. Cells of a sweep are
+independent of each other, so a campaign can fan them out across a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+1. **Resume** — cells already in the campaign's checkpoint store are
+   deserialized in the parent; only the rest are dispatched.
+2. **Alone profiles** — the expensive alone-run profiles the cells depend
+   on are deduplicated by cache key (one application may appear in many
+   mixes), computed once each in the pool, persisted through the campaign's
+   alone-run cache, and shipped to the cell workers pre-seeded.
+3. **Cells** — each worker simulates one full cell and returns a picklable
+   payload: the :class:`~repro.harness.runner.RunResult` on success, or the
+   exception's type/message/traceback/diagnosis on failure. The parent
+   merges results into the checkpoint store **in submission order**, so a
+   parallel sweep commits the same records, and surveys accumulate floats
+   in the same order, as a serial one — ``workers=N`` is bit-identical to
+   ``workers=1``.
+
+Failure discipline matches :meth:`Campaign.run_mix`: a failing cell becomes
+a replayable :class:`~repro.resilience.faults.RunFailure`; with
+``keep_going`` the sweep continues (the cell yields ``None``), otherwise
+:class:`WorkerRunError` re-raises it in the parent with the worker's
+traceback. A worker that dies outright (the pool breaks) is recorded as a
+``WorkerCrash`` failure, the pool is rebuilt, and the surviving cells are
+resubmitted — the crashed cell is never retried.
+
+Model/scheduler recipes must be **module-level callables** (pickled by
+reference): ``model_builder(*model_builder_args)`` must return the
+``{name: factory}`` dict ``run_workload`` expects, and
+``scheduler_builder(*scheduler_builder_args)`` a Scheduler instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import traceback as _traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.harness.runner import (
+    AloneProfile,
+    AloneRunCache,
+    ModelFactory,
+    RunResult,
+    run_alone,
+    run_workload,
+)
+from repro.resilience.campaign import result_from_json, result_to_json
+from repro.resilience.faults import RunFailure, config_fingerprint
+from repro.workloads.mixes import WorkloadMix
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent unit of campaign work (a single shared run)."""
+
+    mix: WorkloadMix
+    config: SystemConfig
+    quanta: int = 1
+    variant: str = ""
+    model_builder: Optional[Callable[..., Dict[str, ModelFactory]]] = None
+    model_builder_args: Tuple = ()
+    scheduler_builder: Optional[Callable] = None
+    scheduler_builder_args: Tuple = ()
+
+
+class WorkerRunError(RuntimeError):
+    """A cell failed in a worker process while ``keep_going`` was off."""
+
+    def __init__(self, failure: RunFailure) -> None:
+        super().__init__(
+            f"{failure.error_type} in worker for mix '{failure.mix_name}': "
+            f"{failure.message}\n{failure.traceback}"
+        )
+        self.failure = failure
+
+
+def build_model_factories(spec: CellSpec) -> Optional[Dict[str, ModelFactory]]:
+    if spec.model_builder is None:
+        return None
+    return spec.model_builder(*spec.model_builder_args)
+
+
+def build_scheduler_factory(spec: CellSpec) -> Optional[Callable]:
+    if spec.scheduler_builder is None:
+        return None
+    return lambda: spec.scheduler_builder(*spec.scheduler_builder_args)
+
+
+# ----------------------------------------------------------------------
+# Worker-side entry points (module-level so they pickle by reference).
+
+def _error_payload(exc: BaseException) -> dict:
+    diagnosis = getattr(exc, "diagnosis", None)
+    return {
+        "error_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        "diagnosis": dict(diagnosis) if isinstance(diagnosis, dict) else {},
+    }
+
+
+def _profile_worker(task) -> dict:
+    """Compute one alone-run profile: (mix, core, config, cycles)."""
+    mix, core, config, cycles = task
+    try:
+        profile = run_alone(mix.trace_for_core(core), config, cycles)
+        return {"ok": True, "profile": profile}
+    except Exception as exc:  # noqa: BLE001 - isolated and reported
+        return {"ok": False, **_error_payload(exc)}
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """Everything a worker needs to run one cell, fully picklable."""
+
+    spec: CellSpec
+    profiles: Tuple  # ((alone-cache key, AloneProfile), ...)
+    check_invariants: bool
+    wall_clock_budget_s: Optional[float]
+
+
+def _cell_worker(task: _CellTask) -> dict:
+    spec = task.spec
+    try:
+        cache = AloneRunCache()
+        cache.absorb(task.profiles)
+        result = run_workload(
+            spec.mix,
+            spec.config,
+            model_factories=build_model_factories(spec),
+            scheduler_factory=build_scheduler_factory(spec),
+            quanta=spec.quanta,
+            alone_cache=cache,
+            check_invariants=task.check_invariants,
+            wall_clock_budget_s=task.wall_clock_budget_s,
+        )
+        return {"ok": True, "result": result}
+    except Exception as exc:  # noqa: BLE001 - isolated and reported
+        return {"ok": False, **_error_payload(exc)}
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration.
+
+def _run_tasks(fn, payloads: Sequence, workers: int) -> List[tuple]:
+    """Run ``payloads`` through a process pool, surviving hard crashes.
+
+    Returns one ``("ok", value)`` or ``("crash", message)`` per payload, in
+    order. When a worker dies outright the pool breaks and every
+    unfinished future raises; the first one (in submission order) is
+    attributed as the crash, the pool is rebuilt, and the rest are
+    resubmitted. Each rebuild permanently consumes at least one payload,
+    so a poisoned payload cannot wedge the sweep. Attribution is
+    best-effort: with several payloads in flight the recorded cell may be
+    an innocent neighbour of the one that actually died.
+    """
+    outcomes: List[Optional[tuple]] = [None] * len(payloads)
+    pending = list(range(len(payloads)))
+    while pending:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending))
+        ) as pool:
+            futures = [(i, pool.submit(fn, payloads[i])) for i in pending]
+            crash_attributed = False
+            retry: List[int] = []
+            for i, future in futures:
+                try:
+                    outcomes[i] = ("ok", future.result())
+                except (BrokenExecutor, EOFError, OSError) as exc:
+                    if crash_attributed:
+                        retry.append(i)
+                    else:
+                        crash_attributed = True
+                        outcomes[i] = (
+                            "crash",
+                            "worker process died before returning a result "
+                            f"({type(exc).__name__}: {exc})",
+                        )
+        pending = retry
+    return outcomes
+
+
+def _failure_from_payload(campaign, cell: CellSpec, payload: dict) -> RunFailure:
+    return RunFailure(
+        experiment=campaign.experiment,
+        variant=cell.variant,
+        mix_name=cell.mix.name,
+        mix_seed=cell.mix.seed,
+        specs=[dataclasses.asdict(spec) for spec in cell.mix.specs],
+        config_fingerprint=config_fingerprint(cell.config),
+        quanta=cell.quanta,
+        error_type=payload["error_type"],
+        message=payload["message"],
+        traceback=payload.get("traceback", ""),
+        diagnosis=payload.get("diagnosis") or {},
+    )
+
+
+def _record_failure(campaign, cell: CellSpec, payload: dict) -> None:
+    failure = _failure_from_payload(campaign, cell, payload)
+    campaign.failures.append(failure)
+    if campaign.store is not None:
+        campaign.store.append_failure(failure)
+    if not campaign.keep_going:
+        raise WorkerRunError(failure)
+
+
+def _alone_cycles(cell: CellSpec) -> int:
+    # Must match run_workload: profiles cover one quantum beyond the run.
+    return (cell.quanta + 1) * cell.config.quantum_cycles
+
+
+def run_cells(
+    campaign,
+    cells: Sequence[CellSpec],
+    *,
+    workers: int = 1,
+) -> List[Optional[RunResult]]:
+    """Run ``cells`` under ``campaign``'s fault/checkpoint discipline.
+
+    Returns one entry per cell, in order: the :class:`RunResult`, or
+    ``None`` for cells whose failure was captured by ``keep_going``.
+    ``workers=1`` delegates to :meth:`Campaign.run_mix` serially; results
+    are identical either way.
+    """
+    if workers <= 1:
+        cache = campaign.alone_cache()
+        return [
+            campaign.run_mix(
+                cell.mix,
+                cell.config,
+                quanta=cell.quanta,
+                variant=cell.variant,
+                model_factories=build_model_factories(cell),
+                scheduler_factory=build_scheduler_factory(cell),
+                alone_cache=cache,
+            )
+            for cell in cells
+        ]
+
+    results: List[Optional[RunResult]] = [None] * len(cells)
+    keys = [
+        campaign.run_key(cell.mix, cell.config, cell.quanta, cell.variant)
+        for cell in cells
+    ]
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        if campaign.resume and campaign.store is not None:
+            cached = campaign.store.get_run(keys[i])
+            if cached is not None:
+                results[i] = result_from_json(cached, cell.config)
+                campaign.resumed += 1
+                continue
+        pending.append(i)
+    if not pending:
+        return results
+
+    # Phase 1: dedup the alone profiles the pending cells need, reuse what
+    # the campaign's cache already holds, compute the rest in the pool.
+    cache = campaign.alone_cache()
+    needed: Dict[tuple, tuple] = {}
+    cell_keys: Dict[int, List[tuple]] = {}
+    for i in pending:
+        cell = cells[i]
+        cycles = _alone_cycles(cell)
+        cell_keys[i] = []
+        for core in range(cell.mix.num_cores):
+            key = AloneRunCache._key(cell.mix, core, cell.config, cycles)
+            cell_keys[i].append(key)
+            needed.setdefault(key, (cell.mix, core, cell.config, cycles))
+
+    have: Dict[tuple, AloneProfile] = {}
+    missing: List[tuple] = []
+    for key, task in needed.items():
+        store_hits_before = cache.store_hits
+        profile = cache.peek(*task)
+        if profile is not None:
+            have[key] = profile
+            if cache.store_hits == store_hits_before:
+                cache.hits += 1  # persistent peek counts store hits itself
+        else:
+            missing.append(key)
+    profile_errors: Dict[tuple, dict] = {}
+    if missing:
+        outcomes = _run_tasks(
+            _profile_worker, [needed[key] for key in missing], workers
+        )
+        for key, (kind, value) in zip(missing, outcomes):
+            if kind == "crash":
+                profile_errors[key] = {
+                    "error_type": "WorkerCrash",
+                    "message": value,
+                }
+            elif value["ok"]:
+                have[key] = value["profile"]
+                cache.misses += 1
+                cache.seed_profile(*needed[key], value["profile"])
+            else:
+                profile_errors[key] = value
+
+    # Phase 2: fan the runnable cells out; cells depending on a failed
+    # profile fail immediately with that profile's error.
+    runnable: List[int] = []
+    for i in pending:
+        bad = next((k for k in cell_keys[i] if k in profile_errors), None)
+        if bad is not None:
+            _record_failure(campaign, cells[i], profile_errors[bad])
+        else:
+            runnable.append(i)
+    tasks = [
+        _CellTask(
+            spec=cells[i],
+            profiles=tuple((key, have[key]) for key in cell_keys[i]),
+            check_invariants=campaign.check_invariants,
+            wall_clock_budget_s=campaign.wall_clock_budget_s,
+        )
+        for i in runnable
+    ]
+    outcomes = _run_tasks(_cell_worker, tasks, workers)
+    for i, (kind, value) in zip(runnable, outcomes):
+        if kind == "crash":
+            _record_failure(
+                campaign, cells[i],
+                {"error_type": "WorkerCrash", "message": value},
+            )
+        elif value["ok"]:
+            result = value["result"]
+            if campaign.store is not None:
+                campaign.store.put_run(keys[i], result_to_json(result))
+            campaign.computed += 1
+            results[i] = result
+        else:
+            _record_failure(campaign, cells[i], value)
+    return results
+
+
+__all__ = [
+    "CellSpec",
+    "WorkerRunError",
+    "build_model_factories",
+    "build_scheduler_factory",
+    "run_cells",
+]

@@ -25,7 +25,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.parallel import CellSpec
 
 from repro.config import SystemConfig
 from repro.harness.runner import (
@@ -194,10 +197,45 @@ class PersistentAloneRunCache(AloneRunCache):
             hashed = stable_hash(key)
             profile = self._store.get_alone(hashed)
             if profile is None:
+                self.misses += 1
                 profile = run_alone(mix.trace_for_core(core), config, cycles)
                 self._store.put_alone(hashed, profile)
+            else:
+                self.store_hits += 1
             self._profiles[key] = profile
+        else:
+            self.hits += 1
         return profile
+
+    def peek(
+        self,
+        mix: WorkloadMix,
+        core: int,
+        config: SystemConfig,
+        cycles: int,
+    ) -> Optional[AloneProfile]:
+        key = self._key(mix, core, config, cycles)
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = self._store.get_alone(stable_hash(key))
+            if profile is not None:
+                self._profiles[key] = profile
+                self.store_hits += 1
+        return profile
+
+    def seed_profile(
+        self,
+        mix: WorkloadMix,
+        core: int,
+        config: SystemConfig,
+        cycles: int,
+        profile: AloneProfile,
+    ) -> None:
+        key = self._key(mix, core, config, cycles)
+        self._profiles[key] = profile
+        hashed = stable_hash(key)
+        if self._store.get_alone(hashed) is None:
+            self._store.put_alone(hashed, profile)
 
 
 class Campaign:
@@ -238,6 +276,7 @@ class Campaign:
         self.failures: List[RunFailure] = []
         self.computed = 0
         self.resumed = 0
+        self._alone_cache: Optional[AloneRunCache] = None
 
     # ------------------------------------------------------------------
     def run_key(
@@ -259,10 +298,30 @@ class Campaign:
         )
 
     def alone_cache(self) -> AloneRunCache:
-        """The campaign's alone-run cache (persistent when storing)."""
-        if self.store is not None:
-            return PersistentAloneRunCache(self.store)
-        return AloneRunCache()
+        """The campaign's alone-run cache (persistent when storing).
+
+        Memoised: every sweep in the campaign shares one cache, so its
+        hit/miss statistics cover the whole campaign and repeated surveys
+        reuse each other's in-memory profiles."""
+        if self._alone_cache is None:
+            if self.store is not None:
+                self._alone_cache = PersistentAloneRunCache(self.store)
+            else:
+                self._alone_cache = AloneRunCache()
+        return self._alone_cache
+
+    def run_cells(
+        self,
+        cells: Sequence["CellSpec"],
+        *,
+        workers: int = 1,
+    ) -> List[Optional[RunResult]]:
+        """Run a batch of independent cells, fanning out across ``workers``
+        processes (see :mod:`repro.parallel`). ``workers=1`` runs them
+        serially through :meth:`run_mix`; results are identical."""
+        from repro import parallel
+
+        return parallel.run_cells(self, cells, workers=workers)
 
     def run_mix(
         self,
@@ -324,7 +383,11 @@ class Campaign:
             parts.append(f"{self.resumed} resumed")
         if self.failures:
             parts.append(f"{len(self.failures)} FAILED")
-        return f"campaign {self.experiment}: " + ", ".join(parts)
+        line = f"campaign {self.experiment}: " + ", ".join(parts)
+        cache = self._alone_cache
+        if cache is not None and (cache.hits or cache.misses or cache.store_hits):
+            line += f"; {cache.summary()}"
+        return line
 
 
 __all__ = [

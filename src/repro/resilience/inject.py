@@ -22,6 +22,7 @@ failing campaign replays identically.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
 
@@ -56,6 +57,39 @@ class ExplodingModel(SlowdownModel):
                 f"(cycle {self.now})"
             )
         return [self.estimate] * self.num_cores
+
+
+class ProcessKillerModel(SlowdownModel):
+    """Kills the whole interpreter at the first quantum boundary.
+
+    Simulates a hard worker death (segfault, OOM kill) rather than a
+    Python exception — the shape that breaks a process pool. Only ever
+    attach this inside a sacrificial worker process."""
+
+    name = "killer"
+
+    def estimate_slowdowns(self) -> List[float]:
+        os._exit(13)
+
+
+# Module-level model builders, picklable by reference, for driving the
+# parallel execution layer's failure paths from tests and chaos drills
+# (see repro.parallel.CellSpec.model_builder).
+
+def benign_model_factories(estimate: float = 1.0):
+    """A single constant-estimate model (an ExplodingModel set to never
+    fire) — the cheapest possible picklable cell recipe."""
+    return {"constant": lambda: ExplodingModel(1 << 30, estimate=estimate)}
+
+
+def exploding_model_factories(explode_at: int = 0):
+    """A model that raises :class:`InjectedFault` at quantum ``explode_at``."""
+    return {"exploding": lambda: ExplodingModel(explode_at)}
+
+
+def process_killer_factories():
+    """A model that hard-kills its process at the first quantum boundary."""
+    return {"killer": lambda: ProcessKillerModel()}
 
 
 class CorruptingTrace(Iterator[TraceRecord]):
@@ -182,6 +216,10 @@ __all__ = [
     "EngineStallInjector",
     "ExplodingModel",
     "InjectedFault",
+    "ProcessKillerModel",
     "SpinInjector",
     "TraceFaultMix",
+    "benign_model_factories",
+    "exploding_model_factories",
+    "process_killer_factories",
 ]

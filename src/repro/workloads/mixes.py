@@ -55,8 +55,14 @@ def random_mixes(
     seed: int = 42,
     pool: Optional[Sequence[AppSpec]] = None,
 ) -> List[WorkloadMix]:
-    """Generate ``count`` stratified random workloads of ``num_cores`` apps."""
-    rng = random.Random(seed)
+    """Generate ``count`` stratified random workloads of ``num_cores`` apps.
+
+    Each mix is drawn from its own RNG seeded by ``(seed, index)``, so
+    ``mixes[i]`` depends only on the seed and its index — not on how many
+    mixes are generated, nor on the order anything evaluates them. A
+    parallel sweep and a serial one (or a longer and a shorter sweep)
+    therefore agree on every shared mix.
+    """
     specs = list(pool) if pool is not None else list(CATALOG.values())
     by_class = {"low": [], "medium": [], "high": []}
     for spec in specs:
@@ -64,6 +70,7 @@ def random_mixes(
 
     mixes: List[WorkloadMix] = []
     for index in range(count):
+        rng = random.Random(seed * 1_000_003 + index)
         num_high = rng.randint(0, num_cores)
         chosen: List[AppSpec] = []
         high_pool = by_class["high"] or specs

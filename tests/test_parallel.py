@@ -1,0 +1,200 @@
+"""Tests for the parallel campaign execution layer (repro.parallel)."""
+
+import pickle
+
+import pytest
+
+from repro.config import scaled_config
+from repro.experiments.common import survey_errors
+from repro.harness.runner import AloneProfile, AloneRunCache, run_workload
+from repro.parallel import CellSpec, WorkerRunError, run_cells
+from repro.resilience.campaign import Campaign
+from repro.resilience.inject import (
+    benign_model_factories,
+    exploding_model_factories,
+    process_killer_factories,
+)
+from repro.workloads.mixes import make_mix, random_mixes
+
+# Small platform so each cell simulates quickly.
+CONFIG = scaled_config().with_quantum(50_000, 5_000)
+
+
+def _mixes(count, seed=7):
+    return random_mixes(count, CONFIG.num_cores, seed=seed)
+
+
+def _cell(mix, builder=benign_model_factories, args=(), quanta=2):
+    return CellSpec(
+        mix=mix,
+        config=CONFIG,
+        quanta=quanta,
+        model_builder=builder,
+        model_builder_args=args,
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism: a parallel sweep is bit-identical to a serial one.
+
+def test_parallel_survey_matches_serial():
+    mixes = _mixes(3)
+    serial = survey_errors(
+        mixes, CONFIG, quanta=2, workers=1,
+        model_builder=benign_model_factories,
+    )
+    parallel = survey_errors(
+        mixes, CONFIG, quanta=2, workers=2,
+        model_builder=benign_model_factories,
+    )
+    assert serial.model_names == parallel.model_names
+    assert serial.overall == parallel.overall
+    assert serial.per_app == parallel.per_app
+    assert serial.per_workload == parallel.per_workload
+
+
+def test_run_cells_parallel_matches_serial_results():
+    cells = [_cell(mix) for mix in _mixes(2)]
+    serial = Campaign("t", None).run_cells(cells, workers=1)
+    parallel = Campaign("t", None).run_cells(cells, workers=2)
+    assert [r.records for r in serial] == [r.records for r in parallel]
+
+
+def test_random_mixes_independent_of_count():
+    # Per-index seeding: mix i does not depend on how many mixes are drawn.
+    longer = random_mixes(5, 4, seed=11)
+    shorter = random_mixes(3, 4, seed=11)
+    assert longer[:3] == shorter
+
+
+# ----------------------------------------------------------------------
+# Fault isolation in workers.
+
+def test_worker_exception_captured_and_sweep_continues():
+    mixes = _mixes(3)
+    cells = [
+        _cell(mixes[0]),
+        _cell(mixes[1], builder=exploding_model_factories, args=(0,)),
+        _cell(mixes[2]),
+    ]
+    campaign = Campaign("t", None, keep_going=True)
+    results = campaign.run_cells(cells, workers=2)
+    assert results[0] is not None and results[2] is not None
+    assert results[1] is None
+    assert len(campaign.failures) == 1
+    failure = campaign.failures[0]
+    assert failure.error_type == "InjectedFault"
+    assert failure.mix_name == mixes[1].name
+    assert "InjectedFault" in failure.traceback
+
+
+def test_worker_exception_raises_without_keep_going():
+    cells = [_cell(_mixes(1)[0], builder=exploding_model_factories, args=(0,))]
+    campaign = Campaign("t", None)
+    with pytest.raises(WorkerRunError) as excinfo:
+        campaign.run_cells(cells, workers=2)
+    assert excinfo.value.failure.error_type == "InjectedFault"
+
+
+def test_worker_hard_crash_recorded_and_pool_recovers():
+    mixes = _mixes(2)
+    # The crashing cell is submitted first so crash attribution (which
+    # scans futures in submission order) is deterministic.
+    cells = [
+        _cell(mixes[0], builder=process_killer_factories),
+        _cell(mixes[1]),
+    ]
+    campaign = Campaign("t", None, keep_going=True)
+    results = campaign.run_cells(cells, workers=2)
+    assert results[0] is None
+    assert results[1] is not None  # pool was rebuilt and the cell re-run
+    assert len(campaign.failures) == 1
+    assert campaign.failures[0].error_type == "WorkerCrash"
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume through the parallel path.
+
+def test_parallel_resume_after_partial_sweep(tmp_path):
+    store = str(tmp_path / "campaign")
+    mixes = _mixes(3)
+    cells = [_cell(mix) for mix in mixes]
+
+    # A sweep that dies after two cells: only their results are stored.
+    first = Campaign("t", store)
+    partial = first.run_cells(cells[:2], workers=2)
+    assert first.computed == 2
+
+    # Resume computes only the missing cell and reuses stored profiles.
+    resumed = Campaign("t", store, resume=True)
+    results = resumed.run_cells(cells, workers=2)
+    assert resumed.resumed == 2
+    assert resumed.computed == 1
+    assert all(r is not None for r in results)
+    assert [r.records for r in results[:2]] == [r.records for r in partial]
+
+    # The resumed sweep equals a from-scratch serial sweep.
+    scratch = Campaign("t", None).run_cells(cells, workers=1)
+    assert [r.records for r in results] == [r.records for r in scratch]
+
+
+def test_parallel_reuses_stored_alone_profiles(tmp_path):
+    store = str(tmp_path / "campaign")
+    mix = _mixes(1)[0]
+    Campaign("t", store).run_cells([_cell(mix)], workers=2)
+
+    again = Campaign("t", store)  # no resume: run cells afresh
+    again.run_cells([_cell(mix)], workers=2)
+    cache = again.alone_cache()
+    assert cache.store_hits == mix.num_cores
+    assert cache.misses == 0
+
+
+# ----------------------------------------------------------------------
+# Picklability of the payloads the pool ships around.
+
+def test_run_result_pickle_roundtrip():
+    mix = make_mix(["mcf", "libquantum", "astar", "povray"], seed=3)
+    result = run_workload(
+        mix, CONFIG, model_factories=benign_model_factories(), quanta=1
+    )
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone == result
+    assert clone.mean_actual_slowdowns() == result.mean_actual_slowdowns()
+
+
+def test_alone_profile_pickle_roundtrip():
+    profile = AloneProfile(checkpoint_interval=2000,
+                           instructions=[100, 250, 400])
+    clone = pickle.loads(pickle.dumps(profile))
+    assert clone == profile
+    assert clone.time_at(300) == profile.time_at(300)
+
+
+def test_cell_spec_is_picklable():
+    cell = _cell(_mixes(1)[0])
+    clone = pickle.loads(pickle.dumps(cell))
+    assert clone == cell
+    assert clone.model_builder is benign_model_factories
+
+
+# ----------------------------------------------------------------------
+# Alone-run cache statistics.
+
+def test_alone_cache_counts_hits_and_misses():
+    cache = AloneRunCache()
+    mix = _mixes(1)[0]
+    cache.get(mix, 0, CONFIG, 10_000)
+    cache.get(mix, 0, CONFIG, 10_000)
+    cache.get(mix, 1, CONFIG, 10_000)
+    assert cache.stats() == {
+        "hits": 1, "misses": 2, "store_hits": 0, "entries": 2,
+    }
+    assert "1 hits" in cache.summary()
+    assert "2 computed" in cache.summary()
+
+
+def test_campaign_summary_includes_alone_cache_line():
+    campaign = Campaign("t", None)
+    campaign.run_cells([_cell(_mixes(1)[0], quanta=1)], workers=1)
+    assert "alone-run cache" in campaign.summary()
