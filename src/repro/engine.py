@@ -152,14 +152,16 @@ class Engine:
                         break
                     if executed >= next_deadline_check:
                         next_deadline_check = executed + _DEADLINE_CHECK_EVENTS
-                        if _time.monotonic() > wall_deadline:
+                        # Watchdog only: the wall clock never reaches
+                        # simulation state, it can only abort the run.
+                        now_mono = _time.monotonic()  # lint: ignore[DET001]
+                        if now_mono > wall_deadline:
                             self.events_executed = executed
                             pending = (
                                 sum(len(b) for b in buckets.values()) - i
                             )
                             raise DeadlineExceeded(
-                                self.now, pending,
-                                _time.monotonic() - wall_deadline,
+                                self.now, pending, now_mono - wall_deadline,
                             )
             finally:
                 if i < len(bucket):
@@ -169,17 +171,16 @@ class Engine:
                     del buckets[time]
         self.events_executed = executed
         self.stopped_early = self._stopped
-        if (
-            wall_deadline is not None
-            and not self._stopped
-            and executed
-            and _time.monotonic() > wall_deadline
-        ):
-            raise DeadlineExceeded(
-                self.now,
-                sum(len(b) for b in buckets.values()),
-                _time.monotonic() - wall_deadline,
-            )
+        if wall_deadline is not None and not self._stopped and executed:
+            # Watchdog only (see above): a drain-time overshoot still
+            # raises, but the clock never influences simulation state.
+            now_mono = _time.monotonic()  # lint: ignore[DET001]
+            if now_mono > wall_deadline:
+                raise DeadlineExceeded(
+                    self.now,
+                    sum(len(b) for b in buckets.values()),
+                    now_mono - wall_deadline,
+                )
         if until is not None and self.now < until:
             self.drained_early = not self._stopped
             self.now = until

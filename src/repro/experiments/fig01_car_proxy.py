@@ -37,7 +37,7 @@ def _measure(config: SystemConfig, specs, cycles: int, seed: int) -> Tuple[float
     )
     system.run_until(cycles)
     instructions = system.cores[0].committed_instructions(cycles)
-    accesses = system.hierarchy.demand_hits[0] + system.hierarchy.demand_misses[0]
+    accesses = system.hierarchy.demand_accesses(0)
     return instructions / cycles, accesses / cycles
 
 

@@ -185,10 +185,16 @@ class AloneRunCache:
         for key, profile in entries:
             self._profiles[key] = profile
 
+    @property
+    def lookups(self) -> int:
+        """Total profile lookups: hits + misses by construction."""
+        return self.hits + self.misses
+
     def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "lookups": self.lookups,
             "store_hits": self.store_hits,
             "entries": len(self._profiles),
         }

@@ -73,6 +73,11 @@ class MemoryHierarchy:
         self.demand_misses = [0] * config.num_cores
         self.secondary_misses = [0] * config.num_cores
 
+    def demand_accesses(self, core: int) -> int:
+        """Primary demand accesses of ``core``: hits + misses by
+        construction, so the Table 1 conservation law cannot drift."""
+        return self.demand_hits[core] + self.demand_misses[core]
+
     # ------------------------------------------------------------------
     def access(
         self,

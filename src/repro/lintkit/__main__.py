@@ -1,0 +1,8 @@
+"""``python -m repro.lintkit [paths...]`` — see :mod:`repro.lintkit.cli`."""
+
+import sys
+
+from repro.lintkit.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Baseline files: grandfather existing findings, fail on new ones.
+
+A baseline is a JSON document of finding *fingerprints*. Fingerprints are
+line-number free — rule code + normalized path + the stripped source line
+text + an occurrence index among identical lines — so unrelated edits
+above a grandfathered finding do not resurrect it, while a new identical
+violation elsewhere in the file is still caught.
+
+The checked-in repository keeps an **empty** baseline
+(``lint-baseline.json``): new violations fail CI immediately. The file
+exists anyway so the mechanism stays exercised and a future large
+refactor can grandfather intentionally with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lintkit.base import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def _normalize_path(path: str) -> str:
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+def fingerprints(
+    findings: Sequence[Finding], sources: Dict[str, List[str]]
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    ``sources`` maps path -> source lines (used for the line-text part;
+    findings on unreadable files fall back to the empty string).
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        lines = sources.get(finding.path, [])
+        text = (
+            lines[finding.line - 1].strip()
+            if 1 <= finding.line <= len(lines)
+            else ""
+        )
+        key = (finding.rule, _normalize_path(finding.path), text)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha256(
+            "\x00".join((*key, str(index))).encode("utf-8")
+        ).hexdigest()[:16]
+        out.append((finding, digest))
+    return out
+
+
+def load(path: str) -> List[str]:
+    """Load the fingerprint list from a baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a v{BASELINE_VERSION} lint baseline file"
+        )
+    raw = data.get("findings", [])
+    if not isinstance(raw, list):
+        raise ValueError(f"{path}: 'findings' must be a list")
+    return [str(item) for item in raw]
+
+
+def write(
+    path: str,
+    findings: Sequence[Finding],
+    sources: Dict[str, List[str]],
+) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(digest for _, digest in fingerprints(findings, sources)),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def filter_baselined(
+    findings: Sequence[Finding],
+    sources: Dict[str, List[str]],
+    baselined: Sequence[str],
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, grandfathered-count)."""
+    allowed = set(baselined)
+    fresh: List[Finding] = []
+    grandfathered = 0
+    for finding, digest in fingerprints(findings, sources):
+        if digest in allowed:
+            grandfathered += 1
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "filter_baselined",
+    "fingerprints",
+    "load",
+    "write",
+]

@@ -1,0 +1,172 @@
+"""Command-line driver: ``repro-lint`` / ``python -m repro.lintkit``.
+
+Exit codes: 0 clean (or everything suppressed/grandfathered), 1 findings,
+2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.lintkit import baseline as baseline_mod
+from repro.lintkit.base import (
+    Finding,
+    all_rules,
+    iter_python_files,
+    lint_file,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based simulator-invariant linter for the ASM reproduction "
+            "(determinism, integer cycle accounting, hits+misses==accesses "
+            "conservation, picklable parallel payloads)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=(
+            "baseline file of grandfathered findings (default: "
+            f"{baseline_mod.DEFAULT_BASELINE_NAME} in the cwd, if present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line on success",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for code, rule_cls in sorted(all_rules().items()):
+        gate = ", ".join(rule_cls.packages) if rule_cls.packages else "all files"
+        print(f"{code}  [{rule_cls.severity}]  {rule_cls.summary}")
+        print(f"        gated to: {gate}")
+    return 0
+
+
+def _emit(
+    findings: Sequence[Finding],
+    fmt: str,
+    grandfathered: int,
+    scanned: int,
+    quiet: bool,
+) -> None:
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_json() for f in findings],
+                    "grandfathered": grandfathered,
+                    "files_scanned": scanned,
+                },
+                indent=2,
+            )
+        )
+        return
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"\nrepro-lint: {len(findings)} {noun} in {scanned} files", file=sys.stderr)
+    elif not quiet:
+        extra = f" ({grandfathered} grandfathered)" if grandfathered else ""
+        print(f"repro-lint: clean — {scanned} files{extra}", file=sys.stderr)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        unknown = set(select) - set(all_rules())
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(
+            f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+
+    findings: List[Finding] = []
+    sources: Dict[str, List[str]] = {}
+    scanned = 0
+    for path in iter_python_files(args.paths):
+        scanned += 1
+        file_findings = lint_file(path, select=select)
+        if file_findings:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    sources[path] = handle.read().splitlines()
+            except (OSError, UnicodeDecodeError):
+                sources[path] = []
+            findings.extend(file_findings)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.isfile(
+        baseline_mod.DEFAULT_BASELINE_NAME
+    ):
+        baseline_path = baseline_mod.DEFAULT_BASELINE_NAME
+
+    if args.write_baseline:
+        target = baseline_path or baseline_mod.DEFAULT_BASELINE_NAME
+        baseline_mod.write(target, findings, sources)
+        print(
+            f"repro-lint: wrote {len(findings)} fingerprints to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    grandfathered = 0
+    if baseline_path is not None:
+        try:
+            allowed = baseline_mod.load(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        findings, grandfathered = baseline_mod.filter_baselined(
+            findings, sources, allowed
+        )
+
+    _emit(findings, args.format, grandfathered, scanned, args.quiet)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

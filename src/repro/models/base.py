@@ -25,10 +25,10 @@ class OutstandingTracker:
     __slots__ = ("count", "gate_open", "busy_cycles", "_last_time")
 
     def __init__(self, gate_open: bool = True) -> None:
-        self.count = 0
-        self.gate_open = gate_open
-        self.busy_cycles = 0
-        self._last_time = 0
+        self.count: int = 0
+        self.gate_open: bool = gate_open
+        self.busy_cycles: int = 0
+        self._last_time: int = 0
 
     def _settle(self, now: int) -> None:
         if self.gate_open and self.count > 0 and now > self._last_time:
@@ -62,8 +62,8 @@ class OutstandingTracker:
 class SlowdownModel:
     """Base class: subclasses override the hooks they need."""
 
-    name = "base"
-    uses_epochs = False
+    name: str = "base"
+    uses_epochs: bool = False
 
     def __init__(self) -> None:
         self.system: Optional[System] = None

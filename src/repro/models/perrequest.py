@@ -109,8 +109,11 @@ class PerRequestAccounting:
         # do not stall the core independently.
         parallelism = self._mlp[core].parallelism(now)
         if not self.filter_interference or in_sample:
+            # Fractional by design: this is the model's float *estimate*
+            # of stall cycles (attributed cycles scaled down by MLP), not
+            # engine time — see the [0.0] initialisation above.
             self.interference_cycles[core] += (
-                request.interference_cycles / parallelism
+                request.interference_cycles / parallelism  # lint: ignore[CYC001]
             )
         if in_sample:
             latency = request.latency

@@ -39,7 +39,17 @@ import dataclasses
 import traceback as _traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from repro.config import SystemConfig
 from repro.harness.runner import (
@@ -54,6 +64,13 @@ from repro.resilience.campaign import result_from_json, result_to_json
 from repro.resilience.faults import RunFailure, config_fingerprint
 from repro.workloads.mixes import WorkloadMix
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.resilience.campaign import Campaign
+
+#: An alone-run cache key (see AloneRunCache._key) and one worker task.
+ProfileKey = Tuple[Any, ...]
+ProfileTask = Tuple[WorkloadMix, int, SystemConfig, int]
+
 
 @dataclass(frozen=True)
 class CellSpec:
@@ -64,9 +81,9 @@ class CellSpec:
     quanta: int = 1
     variant: str = ""
     model_builder: Optional[Callable[..., Dict[str, ModelFactory]]] = None
-    model_builder_args: Tuple = ()
-    scheduler_builder: Optional[Callable] = None
-    scheduler_builder_args: Tuple = ()
+    model_builder_args: Tuple[Any, ...] = ()
+    scheduler_builder: Optional[Callable[..., Any]] = None
+    scheduler_builder_args: Tuple[Any, ...] = ()
 
 
 class WorkerRunError(RuntimeError):
@@ -86,16 +103,18 @@ def build_model_factories(spec: CellSpec) -> Optional[Dict[str, ModelFactory]]:
     return spec.model_builder(*spec.model_builder_args)
 
 
-def build_scheduler_factory(spec: CellSpec) -> Optional[Callable]:
-    if spec.scheduler_builder is None:
+def build_scheduler_factory(spec: CellSpec) -> Optional[Callable[[], Any]]:
+    builder = spec.scheduler_builder
+    if builder is None:
         return None
-    return lambda: spec.scheduler_builder(*spec.scheduler_builder_args)
+    args = spec.scheduler_builder_args
+    return lambda: builder(*args)
 
 
 # ----------------------------------------------------------------------
 # Worker-side entry points (module-level so they pickle by reference).
 
-def _error_payload(exc: BaseException) -> dict:
+def _error_payload(exc: BaseException) -> Dict[str, Any]:
     diagnosis = getattr(exc, "diagnosis", None)
     return {
         "error_type": type(exc).__name__,
@@ -107,7 +126,7 @@ def _error_payload(exc: BaseException) -> dict:
     }
 
 
-def _profile_worker(task) -> dict:
+def _profile_worker(task: ProfileTask) -> Dict[str, Any]:
     """Compute one alone-run profile: (mix, core, config, cycles)."""
     mix, core, config, cycles = task
     try:
@@ -122,12 +141,12 @@ class _CellTask:
     """Everything a worker needs to run one cell, fully picklable."""
 
     spec: CellSpec
-    profiles: Tuple  # ((alone-cache key, AloneProfile), ...)
+    profiles: Tuple[Tuple[ProfileKey, AloneProfile], ...]
     check_invariants: bool
     wall_clock_budget_s: Optional[float]
 
 
-def _cell_worker(task: _CellTask) -> dict:
+def _cell_worker(task: _CellTask) -> Dict[str, Any]:
     spec = task.spec
     try:
         cache = AloneRunCache()
@@ -150,7 +169,9 @@ def _cell_worker(task: _CellTask) -> dict:
 # ----------------------------------------------------------------------
 # Parent-side orchestration.
 
-def _run_tasks(fn, payloads: Sequence, workers: int) -> List[tuple]:
+def _run_tasks(
+    fn: Callable[[Any], Any], payloads: Sequence[Any], workers: int
+) -> List[Tuple[str, Any]]:
     """Run ``payloads`` through a process pool, surviving hard crashes.
 
     Returns one ``("ok", value)`` or ``("crash", message)`` per payload, in
@@ -162,7 +183,7 @@ def _run_tasks(fn, payloads: Sequence, workers: int) -> List[tuple]:
     best-effort: with several payloads in flight the recorded cell may be
     an innocent neighbour of the one that actually died.
     """
-    outcomes: List[Optional[tuple]] = [None] * len(payloads)
+    outcomes: List[Optional[Tuple[str, Any]]] = [None] * len(payloads)
     pending = list(range(len(payloads)))
     while pending:
         with ProcessPoolExecutor(
@@ -185,10 +206,13 @@ def _run_tasks(fn, payloads: Sequence, workers: int) -> List[tuple]:
                             f"({type(exc).__name__}: {exc})",
                         )
         pending = retry
-    return outcomes
+    # Every index was either completed or attributed as a crash above.
+    return cast(List[Tuple[str, Any]], outcomes)
 
 
-def _failure_from_payload(campaign, cell: CellSpec, payload: dict) -> RunFailure:
+def _failure_from_payload(
+    campaign: "Campaign", cell: CellSpec, payload: Dict[str, Any]
+) -> RunFailure:
     return RunFailure(
         experiment=campaign.experiment,
         variant=cell.variant,
@@ -204,7 +228,9 @@ def _failure_from_payload(campaign, cell: CellSpec, payload: dict) -> RunFailure
     )
 
 
-def _record_failure(campaign, cell: CellSpec, payload: dict) -> None:
+def _record_failure(
+    campaign: "Campaign", cell: CellSpec, payload: Dict[str, Any]
+) -> None:
     failure = _failure_from_payload(campaign, cell, payload)
     campaign.failures.append(failure)
     if campaign.store is not None:
@@ -219,7 +245,7 @@ def _alone_cycles(cell: CellSpec) -> int:
 
 
 def run_cells(
-    campaign,
+    campaign: "Campaign",
     cells: Sequence[CellSpec],
     *,
     workers: int = 1,
@@ -266,8 +292,8 @@ def run_cells(
     # Phase 1: dedup the alone profiles the pending cells need, reuse what
     # the campaign's cache already holds, compute the rest in the pool.
     cache = campaign.alone_cache()
-    needed: Dict[tuple, tuple] = {}
-    cell_keys: Dict[int, List[tuple]] = {}
+    needed: Dict[ProfileKey, ProfileTask] = {}
+    cell_keys: Dict[int, List[ProfileKey]] = {}
     for i in pending:
         cell = cells[i]
         cycles = _alone_cycles(cell)
@@ -277,8 +303,8 @@ def run_cells(
             cell_keys[i].append(key)
             needed.setdefault(key, (cell.mix, core, cell.config, cycles))
 
-    have: Dict[tuple, AloneProfile] = {}
-    missing: List[tuple] = []
+    have: Dict[ProfileKey, AloneProfile] = {}
+    missing: List[ProfileKey] = []
     for key, task in needed.items():
         store_hits_before = cache.store_hits
         profile = cache.peek(*task)
@@ -288,7 +314,7 @@ def run_cells(
                 cache.hits += 1  # persistent peek counts store hits itself
         else:
             missing.append(key)
-    profile_errors: Dict[tuple, dict] = {}
+    profile_errors: Dict[ProfileKey, Dict[str, Any]] = {}
     if missing:
         outcomes = _run_tasks(
             _profile_worker, [needed[key] for key in missing], workers

@@ -122,8 +122,7 @@ class InvariantChecker:
         llc = hierarchy.llc
         for core in range(self.system.config.num_cores):
             seen = (
-                hierarchy.demand_hits[core]
-                + hierarchy.demand_misses[core]
+                hierarchy.demand_accesses(core)
                 + hierarchy.secondary_misses[core]
             )
             counted = llc.hits[core] + llc.misses[core]

@@ -1,0 +1,34 @@
+# lint: skip-file  (fixture: known ACC001 violations; see det001_bad.py)
+
+
+class DriftingCache:
+    """Counts hits and misses but tracks accesses independently: the
+    conservation law hits + misses == accesses can silently drift."""
+
+    def __init__(self, num_cores):
+        self.hits = [0] * num_cores
+        self.misses = [0] * num_cores
+        self.accesses = [0] * num_cores  # never incremented with the parts
+
+    def record_hit(self, core):
+        self.hits[core] += 1
+
+    def record_miss(self, core):
+        self.misses[core] += 1
+
+
+class SplitCounters:
+    """Epoch counters incremented in different methods, no witness."""
+
+    def __init__(self):
+        self.epoch_hits = 0
+        self.epoch_misses = 0
+
+    def on_hit(self):
+        self.epoch_hits += 1
+
+    def on_miss(self):
+        self.epoch_misses += 1
+
+    def report(self):
+        return {"hits": self.epoch_hits, "misses": self.epoch_misses}

@@ -1,0 +1,65 @@
+# Fixture: conservation-law compliant counters — zero ACC001 findings.
+
+
+class DerivedTotal:
+    """Accesses computed from the parts: cannot drift."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    def record(self, hit):
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+
+class DerivedThroughLocals:
+    """The witness may add the parts through local variables."""
+
+    def __init__(self, n):
+        self.epoch_hits = [0] * n
+        self.epoch_misses = [0] * n
+
+    def on_access(self, core, hit):
+        if hit:
+            self.epoch_hits[core] += 1
+        else:
+            self.epoch_misses[core] += 1
+
+    def rate(self, core):
+        hits = self.epoch_hits[core]
+        misses = self.epoch_misses[core]
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+class CoupledIncrements:
+    """Every incrementing method bumps the accesses counter alongside."""
+
+    def __init__(self):
+        self.sampled_hits = 0
+        self.sampled_misses = 0
+        self.sampled_accesses = 0
+
+    def record(self, hit):
+        self.sampled_accesses += 1
+        if hit:
+            self.sampled_hits += 1
+        else:
+            self.sampled_misses += 1
+
+
+class LoneCounter:
+    """A hits counter with no misses counterpart: no identity to break."""
+
+    def __init__(self):
+        self.way_hits = 0
+
+    def bump(self):
+        self.way_hits += 1

@@ -1,0 +1,22 @@
+# lint: skip-file  (fixture: known CYC001 violations; see det001_bad.py)
+
+
+def window(total, parts):
+    epoch_cycles = total / parts  # true division into *_cycles
+    return epoch_cycles
+
+
+class Accounting:
+    def __init__(self, budget):
+        self.quantum = budget
+
+    def halve(self):
+        self.quantum /= 2  # /= on a quantum counter
+
+    def rebase(self, spent, n):
+        self.stall_cycles = (spent + 1) / n  # nested in arithmetic
+
+
+def tail(total_cycles, chunk):
+    last_epoch = total_cycles - (total_cycles / chunk) * chunk
+    return last_epoch

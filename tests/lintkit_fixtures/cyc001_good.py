@@ -1,0 +1,23 @@
+# Fixture: integer cycle arithmetic — zero CYC001 findings.
+
+
+def window(total, parts):
+    epoch_cycles = total // parts  # floor division keeps integers
+    return epoch_cycles
+
+
+class Accounting:
+    def __init__(self, budget):
+        self.quantum = budget
+
+    def halve(self):
+        self.quantum //= 2
+
+    def rebase(self, spent, n):
+        self.stall_cycles = int((spent + 1) / n)  # int() wrapper is explicit
+
+    def rate(self, accesses, quantum_cycles):
+        # Float *rates* derived from cycles are fine: the target name is
+        # not a cycle counter.
+        car_shared = accesses / quantum_cycles
+        return car_shared

@@ -1,0 +1,40 @@
+# lint: skip-file  (fixture: every snippet below is a known DET001 violation;
+# skip-file keeps an accidental directory-wide lint run clean — tests lint
+# this file explicitly with suppressions disabled by reading its text)
+import random
+import time as clock
+from datetime import datetime
+from random import randint
+
+
+def roll_latency():
+    return random.random() * 100  # module-global RNG
+
+
+def pick_bank(banks):
+    return random.choice(banks)  # module-global RNG
+
+
+def shuffled(reqs):
+    random.shuffle(reqs)  # module-global RNG
+    return reqs
+
+
+def stamp():
+    return clock.time()  # wall clock through an alias
+
+
+def started_at():
+    return datetime.now()  # wall clock
+
+
+def tag_for(obj):
+    return id(obj)  # address-derived value
+
+
+def key_for(name):
+    return hash(name)  # PYTHONHASHSEED-dependent
+
+
+def jitter():
+    return randint(0, 3)  # module-global RNG imported by member

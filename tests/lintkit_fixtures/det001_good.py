@@ -1,0 +1,27 @@
+# Fixture: deterministic counterparts of det001_bad.py — zero findings.
+import random
+
+
+class Component:
+    def __init__(self, seed):
+        # Explicitly seeded generator instance: allowed.
+        self.rng = random.Random(seed)
+        self.now = 0
+
+    def roll_latency(self):
+        return self.rng.random() * 100
+
+    def stamp(self):
+        # Simulated time comes from the engine, not the wall clock.
+        return self.now
+
+    def key_for(self, spec):
+        # Stable fields instead of id()/hash().
+        return (spec.name, spec.seed)
+
+
+def watchdog_deadline(monotonic_deadline):
+    import time
+
+    # Acknowledged wall-clock read: watchdogs may observe real time.
+    return time.monotonic() > monotonic_deadline  # lint: ignore[DET001]

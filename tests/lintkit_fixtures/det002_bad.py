@@ -1,0 +1,30 @@
+# lint: skip-file  (fixture: known DET002 violations; see det001_bad.py)
+
+
+def evict_scan(lines):
+    candidates = {line for line in lines if line.dirty}
+    for line in candidates:  # iterating a set comprehension result
+        line.flush()
+
+
+def walk_literal():
+    total = []
+    for core in {0, 1, 2, 3}:  # set literal iteration
+        total.append(core)
+    return total
+
+
+def from_call(addresses):
+    return [a + 1 for a in set(addresses)]  # list comp over set(...)
+
+
+def keys_view(table):
+    out = []
+    for key in table.keys():  # .keys() view iteration
+        out.append(key)
+    return out
+
+
+def set_algebra(a, b):
+    for item in a | set(b):  # set-op expression iteration
+        yield item

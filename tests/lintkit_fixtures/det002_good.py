@@ -1,0 +1,30 @@
+# Fixture: deterministic iteration patterns — zero DET002 findings.
+
+
+def evict_scan(lines):
+    # Keep candidates in insertion order.
+    candidates = [line for line in lines if line.dirty]
+    for line in candidates:
+        line.flush()
+
+
+def walk_sorted(cores):
+    for core in sorted(set(cores)):  # sorted() restores a total order
+        yield core
+
+
+def mapping_iteration(table):
+    out = []
+    for key in table:  # dicts iterate in insertion order
+        out.append(key)
+    return out
+
+
+def order_insensitive(addresses):
+    # sum/min/max/len/any/all do not depend on iteration order.
+    return sum(a for a in set(addresses)), len(set(addresses))
+
+
+def set_from_set(tags):
+    # Building another set from a set is order-insensitive too.
+    return {t << 1 for t in set(tags)}

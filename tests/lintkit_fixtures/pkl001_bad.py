@@ -1,0 +1,33 @@
+# lint: skip-file  (fixture: known PKL001 violations; see det001_bad.py)
+from concurrent.futures import ProcessPoolExecutor
+
+
+def sweep(payloads):
+    results = []
+    with ProcessPoolExecutor() as pool:
+        for payload in payloads:
+            results.append(pool.submit(lambda: payload + 1))  # lambda payload
+    return results
+
+
+def sweep_nested(pool, items):
+    def worker(item):  # nested def: pickles by value -> fails at runtime
+        return item * 2
+
+    return [pool.submit(worker, item) for item in items]
+
+
+def sweep_bound(pool, items):
+    transform = lambda item: item * 2  # noqa: E731
+    return pool.map(transform, items)
+
+
+def make_cells(mixes, config, CellSpec):
+    return [
+        CellSpec(
+            mix=mix,
+            config=config,
+            model_builder=lambda: {},  # lambda recipe cannot pickle
+        )
+        for mix in mixes
+    ]

@@ -1,0 +1,29 @@
+# Fixture: picklable parallel payloads — zero PKL001 findings.
+from concurrent.futures import ProcessPoolExecutor
+
+
+def worker(payload):
+    """Module-level: pickles by reference."""
+    return payload + 1
+
+
+def build_models():
+    return {}
+
+
+def sweep(payloads):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(worker, p) for p in payloads]
+
+
+def make_cells(mixes, config, CellSpec):
+    return [
+        CellSpec(mix=mix, config=config, model_builder=build_models)
+        for mix in mixes
+    ]
+
+
+def serial_factories():
+    # Lambdas NOT handed to a pool sink are fine (serial-only closures).
+    factories = {"asm": lambda: object()}
+    return factories

@@ -1,0 +1,263 @@
+"""Tests for the simulator-invariant linter (repro.lintkit)."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import lint_text
+from repro.lintkit import baseline as baseline_mod
+from repro.lintkit.base import all_rules, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "lintkit_fixtures"
+
+#: rule -> (expected finding count in the bad fixture, gate module used)
+RULE_FIXTURES = {
+    "DET001": (8, "repro.cache.fixture"),
+    "DET002": (5, "repro.cache.fixture"),
+    "CYC001": (4, "repro.cache.fixture"),
+    "PKL001": (4, "fixture_module"),  # ungated: fires outside repro too
+    "ACC001": (2, "repro.cache.fixture"),
+}
+
+
+def lint_fixture(name, module, apply_suppressions=True):
+    source = (FIXTURES / name).read_text()
+    return lint_text(
+        source,
+        path=str(FIXTURES / name),
+        module=module,
+        apply_suppressions=apply_suppressions,
+    )
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lintkit", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fixture files: known-bad snippets are caught, known-good ones pass.
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_bad_fixture_is_caught(rule):
+    expected_count, module = RULE_FIXTURES[rule]
+    findings = lint_fixture(
+        f"{rule.lower()}_bad.py", module, apply_suppressions=False
+    )
+    assert findings, f"{rule} bad fixture produced no findings"
+    assert {f.rule for f in findings} == {rule}
+    assert len(findings) == expected_count
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_good_fixture_is_clean(rule):
+    _, module = RULE_FIXTURES[rule]
+    findings = lint_fixture(f"{rule.lower()}_good.py", module)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_every_registered_simulator_rule_has_fixtures():
+    codes = {c for c in all_rules() if not c.startswith("LINT")}
+    assert codes == set(RULE_FIXTURES)
+    for code in codes:
+        assert (FIXTURES / f"{code.lower()}_bad.py").is_file()
+        assert (FIXTURES / f"{code.lower()}_good.py").is_file()
+
+
+# ----------------------------------------------------------------------
+# Specific rule semantics worth pinning beyond the fixtures.
+
+def test_det001_gated_outside_simulation_packages():
+    source = "import random\nx = random.random()\n"
+    assert lint_text(source, module="repro.experiments.fig99") == []
+    assert lint_text(source, module="repro.cache.evict") != []
+
+
+def test_det001_allows_seeded_rng_instance():
+    source = "import random\nrng = random.Random(42)\ny = rng.random()\n"
+    assert lint_text(source, module="repro.mem.scheduler") == []
+
+
+def test_det002_sorted_wrapper_is_clean():
+    source = "def f(s):\n    return [x for x in sorted(set(s))]\n"
+    assert lint_text(source, module="repro.cache.evict") == []
+
+
+def test_cyc001_floor_division_is_clean():
+    bad = "def f(a, b):\n    total_cycles = a / b\n    return total_cycles\n"
+    good = bad.replace("a / b", "a // b")
+    assert {f.rule for f in lint_text(bad, module="repro.engine")} == {"CYC001"}
+    assert lint_text(good, module="repro.engine") == []
+
+
+def test_pkl001_fires_without_a_package_gate():
+    source = "def f(pool):\n    return pool.submit(lambda: 1)\n"
+    findings = lint_text(source, module="anywhere.at.all")
+    assert [f.rule for f in findings] == ["PKL001"]
+
+
+def test_acc001_derived_total_is_a_witness():
+    source = (
+        "class C:\n"
+        "    def rec(self, hit):\n"
+        "        if hit:\n"
+        "            self.hits += 1\n"
+        "        else:\n"
+        "            self.misses += 1\n"
+    )
+    witnessed = source + (
+        "    @property\n"
+        "    def accesses(self):\n"
+        "        return self.hits + self.misses\n"
+    )
+    assert {f.rule for f in lint_text(source, module="repro.cache.c")} == {"ACC001"}
+    assert lint_text(witnessed, module="repro.cache.c") == []
+
+
+# ----------------------------------------------------------------------
+# Framework behaviour: suppressions, baseline, module naming, errors.
+
+def test_inline_suppression_and_rationale():
+    flagged = "import random\nx = random.random()\n"
+    suppressed = (
+        "import random\n"
+        "x = random.random()  # lint: ignore[DET001] -- reseeded below\n"
+    )
+    blanket = "import random\nx = random.random()  # lint: ignore\n"
+    other_rule = (
+        "import random\nx = random.random()  # lint: ignore[CYC001]\n"
+    )
+    module = "repro.models.m"
+    assert lint_text(flagged, module=module) != []
+    assert lint_text(suppressed, module=module) == []
+    assert lint_text(blanket, module=module) == []
+    assert lint_text(other_rule, module=module) != []  # wrong code
+
+
+def test_skip_file_marker():
+    source = "# lint: skip-file\nimport random\nx = random.random()\n"
+    assert lint_text(source, module="repro.models.m") == []
+    assert lint_text(
+        source, module="repro.models.m", apply_suppressions=False
+    ) != []
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint_text("def broken(:\n", module="repro.models.m")
+    assert [f.rule for f in findings] == ["LINT000"]
+
+
+def test_module_name_derivation():
+    path = REPO_ROOT / "src" / "repro" / "cache" / "cache.py"
+    assert module_name_for(str(path)) == "repro.cache.cache"
+    package = REPO_ROOT / "src" / "repro" / "cache" / "__init__.py"
+    assert module_name_for(str(package)) == "repro.cache"
+
+
+def test_baseline_grandfathers_old_findings_only(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    findings = lint_text(
+        bad.read_text(), path=str(bad), module="repro.cache.b"
+    )
+    sources = {str(bad): bad.read_text().splitlines()}
+    baseline_file = tmp_path / "baseline.json"
+    baseline_mod.write(str(baseline_file), findings, sources)
+
+    allowed = baseline_mod.load(str(baseline_file))
+    fresh, grandfathered = baseline_mod.filter_baselined(
+        findings, sources, allowed
+    )
+    assert fresh == [] and grandfathered == 1
+
+    # A *new* identical call elsewhere in the file is still caught: the
+    # fingerprint includes an occurrence index among identical lines.
+    bad.write_text(
+        "import random\nx = random.random()\ny = random.random()\n"
+    )
+    findings2 = lint_text(
+        bad.read_text(), path=str(bad), module="repro.cache.b"
+    )
+    sources2 = {str(bad): bad.read_text().splitlines()}
+    fresh2, grandfathered2 = baseline_mod.filter_baselined(
+        findings2, sources2, allowed
+    )
+    assert grandfathered2 == 1
+    assert len(fresh2) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI: the checked-in tree is clean with an empty baseline.
+
+def test_repro_lint_clean_on_repo():
+    result = run_cli("src", "--baseline", "lint-baseline.json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stderr
+
+
+def test_checked_in_baseline_is_empty():
+    data = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert data == {"version": 1, "findings": []}
+
+
+def test_cli_reports_violations_with_json_output(tmp_path):
+    bad = tmp_path / "payload.py"
+    bad.write_text("def f(pool):\n    return pool.submit(lambda: 1)\n")
+    result = run_cli(str(bad), "--format", "json")
+    assert result.returncode == 1
+    report = json.loads(result.stdout)
+    assert report["files_scanned"] == 1
+    assert [f["rule"] for f in report["findings"]] == ["PKL001"]
+
+
+def test_cli_list_rules_and_bad_select():
+    listed = run_cli("--list-rules")
+    assert listed.returncode == 0
+    for code in RULE_FIXTURES:
+        assert code in listed.stdout
+    bogus = run_cli("src", "--select", "NOPE999")
+    assert bogus.returncode == 2
+
+
+def test_cli_write_baseline_roundtrip(tmp_path):
+    bad = tmp_path / "payload.py"
+    bad.write_text("def f(pool):\n    return pool.submit(lambda: 1)\n")
+    baseline = tmp_path / "base.json"
+    wrote = run_cli(str(bad), "--baseline", str(baseline), "--write-baseline")
+    assert wrote.returncode == 0
+    rerun = run_cli(str(bad), "--baseline", str(baseline))
+    assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+
+
+# ----------------------------------------------------------------------
+# Strict typing gate (exercised fully in the CI lint job; here only when
+# mypy happens to be installed, since the test env has no network).
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_on_gated_modules():
+    result = subprocess.run(
+        [
+            "mypy",
+            "src/repro/engine.py",
+            "src/repro/models/base.py",
+            "src/repro/parallel.py",
+            "src/repro/lintkit",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

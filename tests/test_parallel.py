@@ -60,6 +60,22 @@ def test_run_cells_parallel_matches_serial_results():
     assert [r.records for r in serial] == [r.records for r in parallel]
 
 
+def test_parallel_results_bit_identical_to_serial():
+    """The determinism contract DET001/DET002 protect statically: the
+    *serialized* records of a parallel sweep are byte-for-byte equal to a
+    serial one — float formatting included, not just value equality."""
+    import json
+
+    from repro.resilience.campaign import result_to_json
+
+    cells = [_cell(mix) for mix in _mixes(2)]
+    serial = Campaign("t", None).run_cells(cells, workers=1)
+    parallel = Campaign("t", None).run_cells(cells, workers=2)
+    for left, right in zip(serial, parallel):
+        assert json.dumps(result_to_json(left), sort_keys=True) == \
+            json.dumps(result_to_json(right), sort_keys=True)
+
+
 def test_random_mixes_independent_of_count():
     # Per-index seeding: mix i does not depend on how many mixes are drawn.
     longer = random_mixes(5, 4, seed=11)
@@ -188,7 +204,7 @@ def test_alone_cache_counts_hits_and_misses():
     cache.get(mix, 0, CONFIG, 10_000)
     cache.get(mix, 1, CONFIG, 10_000)
     assert cache.stats() == {
-        "hits": 1, "misses": 2, "store_hits": 0, "entries": 2,
+        "hits": 1, "misses": 2, "lookups": 3, "store_hits": 0, "entries": 2,
     }
     assert "1 hits" in cache.summary()
     assert "2 computed" in cache.summary()
