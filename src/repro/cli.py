@@ -42,6 +42,7 @@ from repro.experiments import (
     sec64_mise_vs_asm,
     sec72_combined,
     table3_quantum_epoch,
+    telemetry_faults,
 )
 
 
@@ -109,6 +110,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "sec72": _with_scale(sec72_combined.run),
     "db": _with_scale(db_workloads.run),
     "ablations": _with_scale(ablations.run),
+    "telemetry-faults": _with_scale(telemetry_faults.run),
 }
 
 DESCRIPTIONS = {
@@ -129,6 +131,7 @@ DESCRIPTIONS = {
     "sec72": "ASM-Cache-Mem vs PARBS+UCP",
     "db": "database workloads (TPC-C/YCSB)",
     "ablations": "ASM design-choice ablations",
+    "telemetry-faults": "chaos suite: estimator robustness under counter faults",
 }
 
 DEFAULT_CAMPAIGN_DIR = os.path.join("results", ".campaign")
@@ -167,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for per-mix fan-out "
                              "(1 = serial; results are identical)")
+    parser.add_argument("--telemetry-faults", type=str, default="",
+                        metavar="CLASS[:RATE]",
+                        help="inject deterministic telemetry counter faults "
+                             "into every model (e.g. dropped-read:0.05); see "
+                             "'repro telemetry-faults' for the full sweep")
+    parser.add_argument("--telemetry-seed", type=int, default=0,
+                        help="seed for the telemetry fault injector")
     return parser
 
 
@@ -211,6 +221,23 @@ def main(argv=None) -> int:
             f"repro: '{args.experiment}' does not support --workers; "
             "running serially.\n"
         )
+    telemetry = None
+    if args.telemetry_faults:
+        from repro.telemetry import TelemetrySpec
+
+        try:
+            telemetry = TelemetrySpec.parse(
+                args.telemetry_faults, seed=args.telemetry_seed
+            )
+        except ValueError as exc:
+            sys.stderr.write(f"repro: {exc}\n")
+            return 2
+        if "telemetry" not in getattr(runner, "supports", ()):
+            sys.stderr.write(
+                f"repro: '{args.experiment}' does not support "
+                "--telemetry-faults; running with perfect telemetry.\n"
+            )
+            telemetry = None
 
     start = time.time()
     result = runner(
@@ -219,6 +246,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         campaign=campaign,
         workers=args.workers if args.workers > 1 else None,
+        telemetry=telemetry,
     )
     table = result.format_table()
     print(table)

@@ -10,6 +10,7 @@ from repro.config import SystemConfig, scaled_config
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.resilience.campaign import Campaign
+    from repro.telemetry.spec import TelemetrySpec
 from repro.harness import metrics
 from repro.harness.runner import AloneRunCache, ModelFactory, RunResult, run_workload
 from repro.models.asm import AsmModel
@@ -109,8 +110,13 @@ def survey_errors(
     model_builder_args: Sequence = (),
     scheduler_builder: Optional[Callable] = None,
     scheduler_builder_args: Sequence = (),
+    telemetry: Optional["TelemetrySpec"] = None,
 ) -> ErrorSurvey:
     """Run every mix and collect estimation errors for every model.
+
+    ``telemetry`` injects deterministic counter faults into every model's
+    counter bank (see :mod:`repro.telemetry`); ``None`` means perfect
+    telemetry.
 
     With a :class:`repro.resilience.campaign.Campaign`, each mix runs under
     its fault-isolation/checkpoint discipline: previously completed mixes
@@ -156,6 +162,7 @@ def survey_errors(
                 model_builder_args=tuple(model_builder_args),
                 scheduler_builder=scheduler_builder,
                 scheduler_builder_args=tuple(scheduler_builder_args),
+                telemetry=telemetry,
             )
             for mix in mixes
         ]
@@ -180,6 +187,7 @@ def survey_errors(
                 model_factories=model_factories,
                 scheduler_factory=scheduler_factory,
                 alone_cache=cache,
+                telemetry=telemetry,
             )
             if result is None:
                 continue
@@ -191,6 +199,7 @@ def survey_errors(
                 scheduler_factory=scheduler_factory,
                 quanta=quanta,
                 alone_cache=cache,
+                telemetry=telemetry,
             )
         survey.add_run(result)
     return survey

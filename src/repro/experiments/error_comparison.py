@@ -59,17 +59,22 @@ def run(
     seed: int = 42,
     campaign=None,
     workers: int = 1,
+    telemetry=None,
 ) -> ErrorComparisonResult:
     config = config or scaled_config()
     mixes = default_mixes(num_mixes, config.num_cores, seed=seed)
+    variant = "sampled" if sampled else "unsampled"
+    if telemetry is not None:
+        variant += f"+{telemetry.fault_class}@{telemetry.rate:g}"
     survey = survey_errors(
         mixes,
         config,
         quanta=quanta,
         campaign=campaign,
-        variant="sampled" if sampled else "unsampled",
+        variant=variant,
         workers=workers,
         model_builder=sampled_models if sampled else unsampled_models,
         model_builder_args=(config,) if sampled else (),
+        telemetry=telemetry,
     )
     return ErrorComparisonResult(survey=survey, sampled=sampled)

@@ -30,6 +30,7 @@ from repro.harness import metrics
 from repro.mem.schedulers import Scheduler
 from repro.models.base import SlowdownModel
 from repro.resilience.watchdog import QuantumWatchdog
+from repro.telemetry.spec import TelemetrySpec
 from repro.workloads.mixes import WorkloadMix
 
 ModelFactory = Callable[[], SlowdownModel]
@@ -239,13 +240,20 @@ class RunProfile:
 
 @dataclass
 class QuantumRecord:
-    """Ground truth and model estimates for one quantum."""
+    """Ground truth and model estimates for one quantum.
+
+    ``confidence`` / ``degraded`` mirror ``estimates``: per model, the
+    per-core telemetry confidence (1.0 while healthy) and degradation
+    reason (``None`` while healthy) the model's estimate guard reported
+    for this quantum."""
 
     index: int
     instructions: List[int]  # committed per core at quantum end
     shared_ipc: List[float]
     actual_slowdowns: List[float]  # NaN when the core made no progress
     estimates: Dict[str, List[float]] = field(default_factory=dict)
+    confidence: Dict[str, List[float]] = field(default_factory=dict)
+    degraded: Dict[str, List[Optional[str]]] = field(default_factory=dict)
 
 
 @dataclass
@@ -311,10 +319,14 @@ def run_workload(
     wall_clock_budget_s: Optional[float] = None,
     system_hooks: Sequence[Callable[[System], None]] = (),
     profile_sink: Optional[Callable[[RunProfile], None]] = None,
+    telemetry: Optional[TelemetrySpec] = None,
 ) -> RunResult:
     """Run ``mix`` for ``quanta`` quanta with the given models/policies and
     compute per-quantum ground-truth slowdowns.
 
+    ``telemetry`` attaches a deterministic counter-fault injector to every
+    model's counter bank (see :mod:`repro.telemetry`); ``None`` means
+    perfect telemetry and is bit-identical to the pre-telemetry runner.
     ``check_invariants`` attaches a
     :class:`repro.resilience.invariants.InvariantChecker` that validates
     platform conservation laws at every quantum boundary.
@@ -334,7 +346,8 @@ def run_workload(
     scheduler = scheduler_factory() if scheduler_factory else None
     system = System(config, mix.traces(), scheduler=scheduler, seed=mix.seed,
                     enable_epochs=enable_epochs,
-                    epoch_assignment=epoch_assignment)
+                    epoch_assignment=epoch_assignment,
+                    telemetry=telemetry)
 
     models: Dict[str, SlowdownModel] = {}
     for name, factory in (model_factories or {}).items():
@@ -408,6 +421,9 @@ def run_workload(
         )
         for name, model in models.items():
             record.estimates[name] = list(model.estimates_history[q])
+            if q < len(model.confidence_history):
+                record.confidence[name] = list(model.confidence_history[q])
+                record.degraded[name] = list(model.degraded_history[q])
         records.append(record)
         prev_instructions = instructions
 

@@ -31,6 +31,7 @@ from repro.cache.shared_cache import SharedCache
 from repro.mem.controller import MemoryController
 from repro.mem.request import MemRequest
 from repro.mem.schedulers import Scheduler
+from repro.telemetry.spec import TelemetrySpec
 
 AccessListener = Callable[[int, int, bool, bool, int], None]
 ServiceListener = Callable[[int, bool, bool, int], None]
@@ -212,10 +213,14 @@ class System:
         seed: int = 0,
         enable_epochs: bool = True,
         epoch_assignment: str = "random",
+        telemetry: Optional[TelemetrySpec] = None,
     ) -> None:
         """``epoch_assignment`` is "random" (the paper's probabilistic
         policy, required for ASM-Mem's weighted assignment) or
-        "round_robin" (the alternative Section 4.2 mentions)."""
+        "round_robin" (the alternative Section 4.2 mentions).
+        ``telemetry`` attaches a deterministic counter-fault injector
+        (see :mod:`repro.telemetry`) that every model's counter bank
+        picks up when it attaches; ``None`` means perfect telemetry."""
         if epoch_assignment not in ("random", "round_robin"):
             raise ValueError("epoch_assignment must be 'random' or 'round_robin'")
         config.validate()
@@ -224,6 +229,7 @@ class System:
                 f"need {config.num_cores} traces, got {len(traces)}"
             )
         self.config = config
+        self.telemetry = telemetry
         self.engine = Engine()
         self.controller = MemoryController(
             self.engine, config.dram, config.num_cores, scheduler
@@ -245,6 +251,15 @@ class System:
         self._epoch_assignment = epoch_assignment
         self._next_round_robin = 0
         self._started = False
+
+    @property
+    def epochs_enabled(self) -> bool:
+        """Whether the epoch driver runs (multi-core with epochs on).
+
+        Models consult this to distinguish "no epoch signal although there
+        should be one" (a degradation worth flagging) from single-core /
+        epochs-off runs where the absence is structural."""
+        return self._epochs_enabled
 
     # ------------------------------------------------------------------
     def set_epoch_weights(self, weights: Optional[Sequence[float]]) -> None:

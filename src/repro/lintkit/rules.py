@@ -14,6 +14,9 @@ PKL001    parallel payloads must pickle by reference: no lambdas or
           nested defs handed to pool submission / CellSpec recipes
 ACC001    every class that counts both hits and misses must witness the
           ``hits + misses == accesses`` conservation law
+TEL001    slowdown models read simulator counters only through their
+          ``CounterBank`` accessors (raw access is legal only inside
+          ``attach()``, where the externals are registered)
 ========  ============================================================
 """
 
@@ -766,6 +769,95 @@ class Acc001HitsMissesConservation(Rule):
         return True
 
 
+# ----------------------------------------------------------------------
+
+#: Simulator-owned counters a slowdown model may only touch inside
+#: ``attach()`` — where it registers them as guarded
+#: :class:`repro.telemetry.counters.CounterBank` externals. Everywhere
+#: else models must read through ``CounterVec.read`` /
+#: ``ExternalSample.read``/``delta`` so telemetry faults and invariant
+#: guards see every sample.
+RAW_COUNTER_ATTRS = frozenset(
+    {
+        "queueing_cycles",
+        "interference_cycles",
+        "demand_hits",
+        "demand_misses",
+        "secondary_misses",
+        "busy_cycles",
+        "latency_sum",
+        "latency_count",
+        "alone_latency_sum",
+    }
+)
+
+#: Model-package modules that legitimately own raw counters: the shared
+#: accounting helpers, not estimators themselves.
+_TEL001_EXEMPT_MODULES = frozenset(
+    {"repro.models.base", "repro.models.perrequest"}
+)
+
+
+class _RawCounterVisitor(ast.NodeVisitor):
+    """Collect raw-counter attribute uses outside any ``attach`` scope."""
+
+    def __init__(self) -> None:
+        self.stack: List[str] = []
+        self.sites: List[ast.Attribute] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in RAW_COUNTER_ATTRS and "attach" not in self.stack:
+            self.sites.append(node)
+        self.generic_visit(node)
+
+
+@register
+class Tel001RawCounterRead(Rule):
+    """Models read simulator counters only through the guarded bank.
+
+    A slowdown model may touch raw simulator counters (controller
+    queueing cycles, per-request interference cycles, hierarchy demand
+    counters, tracker busy cycles) only inside ``attach()``, where they
+    are wrapped as :class:`~repro.telemetry.counters.CounterBank`
+    externals (typically as reader lambdas). Any other access bypasses
+    the telemetry fault injectors *and* the estimate guards — the model
+    would keep trusting a counter the fault campaign corrupts.
+    """
+
+    code = "TEL001"
+    summary = "model reads a simulator counter outside CounterBank accessors"
+    packages = ("repro.models",)
+
+    def applies_to(self, module: str) -> bool:
+        if module in _TEL001_EXEMPT_MODULES:
+            return False
+        return super().applies_to(module)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        visitor = _RawCounterVisitor()
+        visitor.visit(ctx.tree)
+        for node in visitor.sites:
+            yield self.finding(
+                ctx,
+                node,
+                f"raw simulator counter `{node.attr}` accessed outside "
+                "`attach()`: register it as a CounterBank external there "
+                "and read it through the bank (`.read(core)` / "
+                "`.delta(core)`) so telemetry faults and estimate guards "
+                "see the sample",
+            )
+
+
 __all__ = [
     "Acc001HitsMissesConservation",
     "Cyc001TrueDivisionIntoCycles",
@@ -774,4 +866,6 @@ __all__ = [
     "Det002SetIteration",
     "HOT_PACKAGES",
     "Pkl001UnpicklableParallelPayload",
+    "RAW_COUNTER_ATTRS",
+    "Tel001RawCounterRead",
 ]

@@ -21,12 +21,20 @@ The auxiliary tag store is optionally set-sampled (Section 4.4), in which
 case ``epoch-ATS-hits`` is the sampled hit *fraction* scaled by the epoch
 access count. Memory queueing residue is corrected per Section 4.3 using
 the controller's queueing-cycle counters.
+
+Every counter feeding the estimate is read through the model's
+:class:`~repro.telemetry.counters.CounterBank` and validated against
+physical invariants (hits <= accesses, non-negative queueing deltas, a
+positive CAR_alone denominator). Violations possible in a healthy run are
+clamped exactly as before but flagged with reduced confidence; violations
+only counter faults can produce fall back to the last good quantum's
+estimate (see :class:`~repro.models.base.EstimateGuard`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.cache.auxtag import AuxiliaryTagStore
 from repro.harness.system import System
@@ -39,7 +47,10 @@ class AsmQuantumStats:
 
     Exposed so the resource-management policies built on ASM (ASM-Cache,
     ASM-Mem, ASM-QoS) can re-derive slowdowns for hypothetical cache
-    allocations (Section 7.1's ``CAR_n``).
+    allocations (Section 7.1's ``CAR_n``). ``confidence``/
+    ``degraded_reason`` report the telemetry health of the quantum:
+    policies skip reallocation decisions when confidence drops below
+    :data:`~repro.models.base.POLICY_CONFIDENCE_FLOOR`.
     """
 
     slowdown: float = 1.0
@@ -52,6 +63,8 @@ class AsmQuantumStats:
     alone_avg_miss_time: float = 0.0
     utility_curve: List[float] = field(default_factory=list)
     quantum_cycles: int = 0
+    confidence: float = 1.0
+    degraded_reason: Optional[str] = None
 
     @property
     def quantum_accesses(self) -> int:
@@ -83,27 +96,56 @@ class AsmModel(SlowdownModel):
     def attach(self, system: System) -> None:
         super().attach(system)
         n = system.config.num_cores
+        bank = self.bank
+        assert bank is not None
         self.ats = [
             AuxiliaryTagStore(system.config.llc, self.sampled_sets)
             for _ in range(n)
         ]
-        # Per-quantum counters.
-        self._accesses = [0] * n
-        self._hits = [0] * n
-        self._misses = [0] * n
-        self._epoch_count = [0] * n
-        self._epoch_hits = [0] * n
-        self._epoch_misses = [0] * n
-        self._epoch_sampled_ats_hits = [0] * n
-        self._epoch_sampled_shared_hits = [0] * n
-        self._epoch_sampled_ats_accesses = [0] * n
-        self._queueing_base = list(system.controller.queueing_cycles)
+        # Per-quantum counters, held by the model's telemetry bank. The
+        # write path increments the raw values; the estimate reads them
+        # back through the bank's guarded accessors.
+        self._accesses = bank.vec("accesses")
+        self._hits = bank.vec("hits")
+        self._misses = bank.vec("misses")
+        self._epoch_count = bank.vec("epoch_count")
+        self._epoch_hits = bank.vec("epoch_hits")
+        self._epoch_misses = bank.vec("epoch_misses")
+        self._epoch_sampled_ats_hits = bank.vec("epoch_sampled_ats_hits", kind="ats")
+        self._epoch_sampled_shared_hits = bank.vec(
+            "epoch_sampled_shared_hits", kind="ats"
+        )
+        self._epoch_sampled_ats_accesses = bank.vec(
+            "epoch_sampled_ats_accesses", kind="ats"
+        )
         # Core currently being measured (its epoch is past warm-up).
         self._measuring = -1
+        # (true owner, telemetry-attributed owner) of the current epoch.
+        self._epoch_owners: Tuple[int, int] = (-1, -1)
         self._epoch_hit_time = [OutstandingTracker(gate_open=False) for _ in range(n)]
         self._epoch_miss_time = [OutstandingTracker(gate_open=False) for _ in range(n)]
         self._quantum_hit_time = [OutstandingTracker() for _ in range(n)]
         self._quantum_miss_time = [OutstandingTracker() for _ in range(n)]
+        # Simulator-owned counters are sampled through the bank too.
+        controller = system.controller
+        self._queueing = bank.external(
+            "queueing_cycles", lambda core: controller.queueing_cycles[core]
+        )
+        self._queueing.rebase()
+        self._epoch_hit_sample = bank.external(
+            "epoch_hit_time", lambda core: self._epoch_hit_time[core].read(self.now)
+        )
+        self._epoch_miss_sample = bank.external(
+            "epoch_miss_time", lambda core: self._epoch_miss_time[core].read(self.now)
+        )
+        self._quantum_hit_sample = bank.external(
+            "quantum_hit_time",
+            lambda core: self._quantum_hit_time[core].read(self.now),
+        )
+        self._quantum_miss_sample = bank.external(
+            "quantum_miss_time",
+            lambda core: self._quantum_miss_time[core].read(self.now),
+        )
         self.last_quantum = [AsmQuantumStats() for _ in range(n)]
         system.hierarchy.access_listeners.append(self._on_access)
         system.hierarchy.service_listeners.append(self._on_service)
@@ -114,23 +156,23 @@ class AsmModel(SlowdownModel):
     def _on_access(
         self, core: int, line_addr: int, is_write: bool, hit: bool, now: int
     ) -> None:
-        self._accesses[core] += 1
+        self._accesses.add(core)
         if hit:
-            self._hits[core] += 1
+            self._hits.add(core)
         else:
-            self._misses[core] += 1
+            self._misses.add(core)
         outcome = self.ats[core].access(line_addr)
         if self._measuring == core:
             if hit:
-                self._epoch_hits[core] += 1
+                self._epoch_hits.add(core)
             else:
-                self._epoch_misses[core] += 1
+                self._epoch_misses.add(core)
             if outcome.sampled:
-                self._epoch_sampled_ats_accesses[core] += 1
+                self._epoch_sampled_ats_accesses.add(core)
                 if outcome.hit:
-                    self._epoch_sampled_ats_hits[core] += 1
+                    self._epoch_sampled_ats_hits.add(core)
                 if hit:
-                    self._epoch_sampled_shared_hits[core] += 1
+                    self._epoch_sampled_shared_hits.add(core)
 
     def _on_service(self, core: int, is_hit: bool, is_start: bool, now: int) -> None:
         epoch = self._epoch_hit_time[core] if is_hit else self._epoch_miss_time[core]
@@ -146,7 +188,12 @@ class AsmModel(SlowdownModel):
 
     def _on_epoch(self, owner: int) -> None:
         now = self.now
-        self._epoch_count[owner] += 1
+        assert self.bank is not None
+        # An epoch-ownership glitch credits the epoch to the wrong core in
+        # the model's counters; the controller still prioritises ``owner``.
+        attributed = self.bank.attribute_epoch(owner)
+        self._epoch_owners = (owner, attributed)
+        self._epoch_count.add(attributed)
         self._measuring = -1
         for core in range(self.num_cores):
             self._epoch_hit_time[core].set_gate(False, now)
@@ -154,6 +201,9 @@ class AsmModel(SlowdownModel):
 
     def _on_measure(self, owner: int) -> None:
         now = self.now
+        true_owner, attributed = self._epoch_owners
+        if owner == true_owner:
+            owner = attributed
         self._measuring = owner
         self._epoch_hit_time[owner].set_gate(True, now)
         self._epoch_miss_time[owner].set_gate(True, now)
@@ -161,105 +211,119 @@ class AsmModel(SlowdownModel):
     # ------------------------------------------------------------------
     def estimate_slowdowns(self) -> List[float]:
         assert self.system is not None
-        now = self.now
+        assert self.bank is not None and self.guard is not None
+        bank = self.bank
+        guard = self.guard
         config = self.system.config
         quantum = config.quantum_cycles
         # Only the post-warm-up portion of each epoch is measured.
         epoch_len = config.epoch_cycles - config.epoch_warmup_cycles
-        controller = self.system.controller
+        epochs_on = self.system.epochs_enabled
         estimates: List[float] = []
         llc_latency = config.llc.latency
 
         for core in range(self.num_cores):
             stats = AsmQuantumStats()
             stats.quantum_cycles = quantum
-            stats.quantum_hits = self._hits[core]
-            stats.quantum_misses = self._misses[core]
-            q_hits = self._quantum_hit_time[core].read(now)
-            q_misses = self._quantum_miss_time[core].read(now)
-            stats.avg_hit_time = (
-                q_hits / self._hits[core] if self._hits[core] else float(llc_latency)
-            )
-            stats.avg_miss_time = (
-                q_misses / self._misses[core] if self._misses[core] else 0.0
-            )
-            stats.utility_curve = self.ats[core].utility_curve()
-            stats.car_shared = self._accesses[core] / quantum
-
-            epoch_hits = self._epoch_hits[core]
-            epoch_misses = self._epoch_misses[core]
-            epoch_accesses = epoch_hits + epoch_misses
-            prioritized = self._epoch_count[core] * epoch_len
-
-            if prioritized <= 0 or epoch_accesses == 0 or stats.car_shared == 0:
-                stats.slowdown = 1.0
-                estimates.append(stats.slowdown)
-                self.last_quantum[core] = stats
-                continue
-
-            # Epoch-scoped service times (alone-like, thanks to priority).
-            hit_time = self._epoch_hit_time[core].read(now)
-            miss_time = self._epoch_miss_time[core].read(now)
-            avg_hit = hit_time / epoch_hits if epoch_hits else float(llc_latency)
-            avg_miss = miss_time / epoch_misses if epoch_misses else 0.0
-            stats.alone_avg_miss_time = avg_miss
-
-            sampled_acc = self._epoch_sampled_ats_accesses[core]
-            if sampled_acc:
-                hit_fraction = self._epoch_sampled_ats_hits[core] / sampled_acc
-                # Contention misses (Section 4.4): estimate the ATS-vs-
-                # shared hit *difference* on the sampled sets and scale it.
-                # Differencing on the same sampled subset cancels the
-                # correlated sampling noise that differencing a sampled
-                # count against an exact count would amplify.
-                contention_fraction = max(
-                    0.0,
-                    (
-                        self._epoch_sampled_ats_hits[core]
-                        - self._epoch_sampled_shared_hits[core]
-                    )
-                    / sampled_acc,
-                )
-            else:
-                hit_fraction = 0.0
-                contention_fraction = 0.0
-            ats_hits = hit_fraction * epoch_accesses
-            ats_misses = epoch_accesses - ats_hits
-
-            contention_misses = contention_fraction * epoch_accesses
-            excess = contention_misses * max(0.0, avg_miss - avg_hit)
-
+            # One guarded read per counter per quantum; all reads happen
+            # up front so every telemetry sample is taken (and every read
+            # fault fires) regardless of which estimate path runs.
+            accesses = self._accesses.read(core)
+            hits = self._hits.read(core)
+            misses = self._misses.read(core)
+            q_hit_time = self._quantum_hit_sample.read(core)
+            q_miss_time = self._quantum_miss_sample.read(core)
+            epoch_count = self._epoch_count.read(core)
+            epoch_hits = self._epoch_hits.read(core)
+            epoch_misses = self._epoch_misses.read(core)
+            hit_time = self._epoch_hit_sample.read(core)
+            miss_time = self._epoch_miss_sample.read(core)
+            sampled_acc = self._epoch_sampled_ats_accesses.read(core)
+            sampled_ats_hits = self._epoch_sampled_ats_hits.read(core)
+            sampled_shared_hits = self._epoch_sampled_shared_hits.read(core)
             if self.queueing_correction:
-                queueing = (
-                    controller.queueing_cycles[core] - self._queueing_base[core]
-                )
+                queueing = self._queueing.delta(core)
             else:
                 queueing = 0
-            avg_queueing_delay = queueing / epoch_misses if epoch_misses else 0.0
 
-            denom = prioritized - excess - ats_misses * avg_queueing_delay
-            if denom <= 0:
-                denom = max(1.0, 0.05 * prioritized)
-            stats.car_alone = epoch_accesses / denom
-            stats.slowdown = self.clamp_slowdown(stats.car_alone / stats.car_shared)
+            stats.quantum_hits = hits
+            stats.quantum_misses = misses
+            stats.avg_hit_time = q_hit_time / hits if hits else float(llc_latency)
+            stats.avg_miss_time = q_miss_time / misses if misses else 0.0
+            stats.utility_curve = self.ats[core].utility_curve()
+            stats.car_shared = accesses / quantum
+
+            epoch_accesses = epoch_hits + epoch_misses
+            prioritized = epoch_count * epoch_len
+
+            soft: List[str] = []
+            if prioritized <= 0 or epoch_accesses == 0 or stats.car_shared == 0:
+                if epochs_on and accesses > 0:
+                    soft.append("no-epoch-signal")
+                estimate = 1.0
+            else:
+                # Epoch-scoped service times (alone-like, thanks to priority).
+                avg_hit = hit_time / epoch_hits if epoch_hits else float(llc_latency)
+                avg_miss = miss_time / epoch_misses if epoch_misses else 0.0
+                stats.alone_avg_miss_time = avg_miss
+
+                if sampled_acc:
+                    hit_fraction = sampled_ats_hits / sampled_acc
+                    # Contention misses (Section 4.4): estimate the ATS-vs-
+                    # shared hit *difference* on the sampled sets and scale it.
+                    # Differencing on the same sampled subset cancels the
+                    # correlated sampling noise that differencing a sampled
+                    # count against an exact count would amplify.
+                    contention_fraction = max(
+                        0.0,
+                        (sampled_ats_hits - sampled_shared_hits) / sampled_acc,
+                    )
+                else:
+                    hit_fraction = 0.0
+                    contention_fraction = 0.0
+                ats_hits = hit_fraction * epoch_accesses
+                ats_misses = epoch_accesses - ats_hits
+
+                contention_misses = contention_fraction * epoch_accesses
+                excess = contention_misses * max(0.0, avg_miss - avg_hit)
+
+                avg_queueing_delay = queueing / epoch_misses if epoch_misses else 0.0
+
+                denom = prioritized - excess - ats_misses * avg_queueing_delay
+                if denom <= 0:
+                    denom = max(1.0, 0.05 * prioritized)
+                    soft.append("degenerate-denominator")
+                stats.car_alone = epoch_accesses / denom
+                estimate = self.clamp_slowdown(stats.car_alone / stats.car_shared)
+
+            # Hard violations: impossible without counter faults.
+            hard: List[str] = []
+            if hits + misses != accesses:
+                hard.append("counter-conservation")
+            if epoch_hits > hits or epoch_misses > misses:
+                hard.append("epoch-exceeds-quantum")
+            if (
+                sampled_ats_hits > sampled_acc
+                or sampled_shared_hits > sampled_acc
+            ):
+                hard.append("ats-sample-implausible")
+            if queueing < 0:
+                hard.append("negative-queueing")
+            hard.extend(bank.collect_flags(core))
+
+            stats.slowdown = guard.resolve(core, estimate, soft, hard)
+            stats.confidence = guard.confidence[core]
+            stats.degraded_reason = guard.reasons[core]
             estimates.append(stats.slowdown)
             self.last_quantum[core] = stats
         return estimates
 
     def reset_quantum(self) -> None:
-        assert self.system is not None
+        assert self.system is not None and self.bank is not None
         now = self.now
         n = self.num_cores
-        self._accesses = [0] * n
-        self._hits = [0] * n
-        self._misses = [0] * n
-        self._epoch_count = [0] * n
-        self._epoch_hits = [0] * n
-        self._epoch_misses = [0] * n
-        self._epoch_sampled_ats_hits = [0] * n
-        self._epoch_sampled_shared_hits = [0] * n
-        self._epoch_sampled_ats_accesses = [0] * n
-        self._queueing_base = list(self.system.controller.queueing_cycles)
+        self.bank.reset()
+        self._queueing.rebase()
         for core in range(n):
             self._epoch_hit_time[core].reset(now)
             self._epoch_miss_time[core].reset(now)

@@ -11,6 +11,69 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.harness.system import System
+from repro.telemetry import CounterBank
+
+#: Policies skip a reallocation decision when any core's estimate
+#: confidence falls below this floor. It must stay below SOFT_CONFIDENCE:
+#: soft degradations (clamped denominators, missing epoch signal) occur in
+#: perfectly healthy runs and must never change fault-free policy
+#: behaviour — only hard telemetry faults may push confidence this low.
+POLICY_CONFIDENCE_FLOOR = 0.75
+
+#: Confidence of a quantum whose estimate needed a soft clamp/fallback.
+SOFT_CONFIDENCE = 0.9
+
+#: Per-quantum multiplicative decay while hard telemetry faults persist.
+CONFIDENCE_DECAY = 0.5
+
+
+class EstimateGuard:
+    """Per-core graceful degradation for a model's slowdown estimates.
+
+    Each quantum the model resolves its raw estimate together with the
+    violations it observed:
+
+    * *soft* violations (degenerate denominators, no epoch signal) are
+      conditions a healthy run can produce — the numeric fallback the
+      estimator always used is kept bit-for-bit, but the quantum is
+      flagged with :data:`SOFT_CONFIDENCE`;
+    * *hard* violations (telemetry fault flags, broken conservation laws
+      such as ``hits > accesses``) are impossible without counter faults —
+      the estimate is replaced by the last good quantum's value and the
+      confidence decays by :data:`CONFIDENCE_DECAY` for every consecutive
+      faulty quantum.
+    """
+
+    __slots__ = ("last_good", "confidence", "reasons", "_carry")
+
+    def __init__(self, num_cores: int) -> None:
+        self.last_good: List[float] = [1.0] * num_cores
+        self.confidence: List[float] = [1.0] * num_cores
+        self.reasons: List[Optional[str]] = [None] * num_cores
+        self._carry: List[float] = [1.0] * num_cores
+
+    def resolve(
+        self,
+        core: int,
+        estimate: float,
+        soft: List[str],
+        hard: List[str],
+    ) -> float:
+        """Resolve ``core``'s estimate for the ending quantum."""
+        if hard:
+            self._carry[core] *= CONFIDENCE_DECAY
+            self.confidence[core] = self._carry[core]
+            self.reasons[core] = ";".join(hard)
+            return self.last_good[core]
+        self._carry[core] = 1.0
+        self.last_good[core] = estimate
+        if soft:
+            self.confidence[core] = SOFT_CONFIDENCE
+            self.reasons[core] = ";".join(soft)
+        else:
+            self.confidence[core] = 1.0
+            self.reasons[core] = None
+        return estimate
 
 
 class OutstandingTracker:
@@ -68,16 +131,30 @@ class SlowdownModel:
     def __init__(self) -> None:
         self.system: Optional[System] = None
         self.estimates_history: List[List[float]] = []
+        # Parallel to estimates_history: per-quantum confidence in [0, 1]
+        # and the degradation reason (None while healthy) per core.
+        self.confidence_history: List[List[float]] = []
+        self.degraded_history: List[List[Optional[str]]] = []
+        self.guard: Optional[EstimateGuard] = None
+        self.bank: Optional[CounterBank] = None
 
     # -- lifecycle ------------------------------------------------------
     def attach(self, system: System) -> None:
         """Register listeners on the system. Subclasses must call super()."""
         self.system = system
+        self.guard = EstimateGuard(system.config.num_cores)
+        self.bank = CounterBank(
+            system.config.num_cores, spec=system.telemetry, salt=self.name
+        )
         system.quantum_listeners.append(self._on_quantum)
 
     def _on_quantum(self) -> None:
         estimates = self.estimate_slowdowns()
         self.estimates_history.append(estimates)
+        guard = self.guard
+        if guard is not None:
+            self.confidence_history.append(list(guard.confidence))
+            self.degraded_history.append(list(guard.reasons))
         self.reset_quantum()
 
     # -- subclass API -----------------------------------------------------

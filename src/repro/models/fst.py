@@ -14,6 +14,10 @@ was delayed due to interference:
 ``filter_counters=None`` models the idealised exact filter the paper uses
 as the "unsampled" configuration; a finite size models the practical
 Bloom-filter build whose aliasing degrades accuracy (Figure 3).
+
+Counter reads (contention misses, interference cycles, miss-busy cycles)
+go through the model's :class:`~repro.telemetry.counters.CounterBank`; see
+:class:`~repro.models.base.EstimateGuard` for the degradation semantics.
 """
 
 from __future__ import annotations
@@ -41,9 +45,18 @@ class FstModel(SlowdownModel):
     def attach(self, system: System) -> None:
         super().attach(system)
         n = system.config.num_cores
+        bank = self.bank
+        assert bank is not None
         self.filters = [PollutionFilter(self.filter_counters) for _ in range(n)]
-        self._contention_misses = [0] * n
-        self._accounting = PerRequestAccounting(system)
+        self._contention_misses = bank.vec("contention_misses")
+        acct = PerRequestAccounting(system)
+        self._accounting = acct
+        self._interference = bank.external(
+            "interference_cycles", lambda core: acct.interference_cycles[core]
+        )
+        self._miss_busy = bank.external(
+            "miss_busy", lambda core: acct.miss_busy_cycles(core)
+        )
         system.hierarchy.llc.add_eviction_listener(self._on_evict)
         system.hierarchy.access_listeners.append(self._on_access)
 
@@ -57,11 +70,14 @@ class FstModel(SlowdownModel):
         if hit:
             return
         if self.filters[core].is_contention_miss(line_addr):
-            self._contention_misses[core] += 1
+            self._contention_misses.add(core)
             self.filters[core].on_refetch(line_addr)
 
     def estimate_slowdowns(self) -> List[float]:
         assert self.system is not None
+        assert self.bank is not None and self.guard is not None
+        bank = self.bank
+        guard = self.guard
         quantum = self.system.config.quantum_cycles
         hit_latency = float(self.system.config.llc.latency)
         estimates: List[float] = []
@@ -70,6 +86,9 @@ class FstModel(SlowdownModel):
             for core in range(self.num_cores)
         ]
         for core in range(self.num_cores):
+            contention = self._contention_misses.read(core)
+            interference_raw = self._interference.read(core)
+            miss_busy = self._miss_busy.read(core)
             # Each contention miss is charged its estimated *alone* miss
             # cost over a hit; the excess overlaps like any other miss, so
             # the same parallelism correction applies.
@@ -77,22 +96,30 @@ class FstModel(SlowdownModel):
                 core, default=hit_latency
             )
             cache_excess = (
-                self._contention_misses[core]
+                contention
                 * max(0.0, avg_alone_miss - hit_latency)
                 / self._accounting.parallelism(core)
             )
-            interference = self._accounting.interference_cycles[core] + cache_excess
+            interference = interference_raw + cache_excess
             # A hardware interference counter increments at most once per
             # cycle with an outstanding miss.
-            interference = min(
-                interference, self._accounting.miss_busy_cycles(core)
-            )
+            interference = min(interference, miss_busy)
+
+            soft: List[str] = []
             alone_time = quantum - interference
             if alone_time <= 0:
                 alone_time = max(1.0, 0.02 * quantum)
-            estimates.append(self.clamp_slowdown(quantum / alone_time))
+                soft.append("degenerate-denominator")
+            estimate = self.clamp_slowdown(quantum / alone_time)
+
+            hard: List[str] = []
+            if interference_raw < 0 or miss_busy < 0:
+                hard.append("negative-interference")
+            hard.extend(bank.collect_flags(core))
+            estimates.append(guard.resolve(core, estimate, soft, hard))
         return estimates
 
     def reset_quantum(self) -> None:
-        self._contention_misses = [0] * self.num_cores
+        assert self.bank is not None
+        self.bank.reset()
         self._accounting.reset()

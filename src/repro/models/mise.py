@@ -6,11 +6,16 @@ slowdown as the ratio of alone and shared request service rates, measuring
 the alone rate during highest-priority epochs. It shares ASM's epoch
 machinery but is blind to shared-cache capacity interference — the paper's
 Section 6.4 comparison (MISE 22% error vs ASM 9.9%) isolates exactly that.
+
+All counters are read through the model's
+:class:`~repro.telemetry.counters.CounterBank` and validated (epoch reads
+cannot exceed quantum reads, queueing deltas cannot be negative); see
+:class:`~repro.models.base.EstimateGuard` for the degradation semantics.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.harness.system import System
 from repro.mem.request import MemRequest
@@ -23,12 +28,18 @@ class MiseModel(SlowdownModel):
 
     def attach(self, system: System) -> None:
         super().attach(system)
-        n = system.config.num_cores
-        self._reads = [0] * n
-        self._epoch_reads = [0] * n
-        self._epoch_count = [0] * n
-        self._queueing_base = list(system.controller.queueing_cycles)
+        bank = self.bank
+        assert bank is not None
+        self._reads = bank.vec("reads")
+        self._epoch_reads = bank.vec("epoch_reads")
+        self._epoch_count = bank.vec("epoch_count")
+        controller = system.controller
+        self._queueing = bank.external(
+            "queueing_cycles", lambda core: controller.queueing_cycles[core]
+        )
+        self._queueing.rebase()
         self._measuring = -1
+        self._epoch_owners: Tuple[int, int] = (-1, -1)
         system.controller.completion_listeners.append(self._on_completion)
         system.epoch_listeners.append(self._on_epoch)
         system.measure_listeners.append(self._on_measure)
@@ -37,43 +48,65 @@ class MiseModel(SlowdownModel):
         if request.is_prefetch or request.is_write:
             return
         core = request.core
-        self._reads[core] += 1
+        self._reads.add(core)
         if self._measuring == core:
-            self._epoch_reads[core] += 1
+            self._epoch_reads.add(core)
 
     def _on_epoch(self, owner: int) -> None:
-        self._epoch_count[owner] += 1
+        assert self.bank is not None
+        attributed = self.bank.attribute_epoch(owner)
+        self._epoch_owners = (owner, attributed)
+        self._epoch_count.add(attributed)
         self._measuring = -1
 
     def _on_measure(self, owner: int) -> None:
+        true_owner, attributed = self._epoch_owners
+        if owner == true_owner:
+            owner = attributed
         self._measuring = owner
 
     def estimate_slowdowns(self) -> List[float]:
         assert self.system is not None
+        assert self.bank is not None and self.guard is not None
+        bank = self.bank
+        guard = self.guard
         config = self.system.config
-        controller = self.system.controller
         quantum = config.quantum_cycles
+        epochs_on = self.system.epochs_enabled
         estimates: List[float] = []
         # Only the post-warm-up portion of each epoch is measured.
         epoch_len = config.epoch_cycles - config.epoch_warmup_cycles
         for core in range(self.num_cores):
-            prioritized = self._epoch_count[core] * epoch_len
-            if self._reads[core] == 0 or prioritized == 0 or self._epoch_reads[core] == 0:
-                estimates.append(1.0)
-                continue
-            rsr_shared = self._reads[core] / quantum
-            queueing = controller.queueing_cycles[core] - self._queueing_base[core]
-            denom = prioritized - queueing
-            if denom <= 0:
-                denom = max(1.0, 0.05 * prioritized)
-            rsr_alone = self._epoch_reads[core] / denom
-            estimates.append(self.clamp_slowdown(rsr_alone / rsr_shared))
+            reads = self._reads.read(core)
+            epoch_reads = self._epoch_reads.read(core)
+            epoch_count = self._epoch_count.read(core)
+            queueing = self._queueing.delta(core)
+            prioritized = epoch_count * epoch_len
+
+            soft: List[str] = []
+            if reads == 0 or prioritized == 0 or epoch_reads == 0:
+                if epochs_on and reads > 0:
+                    soft.append("no-epoch-signal")
+                estimate = 1.0
+            else:
+                rsr_shared = reads / quantum
+                denom = prioritized - queueing
+                if denom <= 0:
+                    denom = max(1.0, 0.05 * prioritized)
+                    soft.append("degenerate-denominator")
+                rsr_alone = epoch_reads / denom
+                estimate = self.clamp_slowdown(rsr_alone / rsr_shared)
+
+            hard: List[str] = []
+            if epoch_reads > reads:
+                hard.append("epoch-exceeds-quantum")
+            if queueing < 0:
+                hard.append("negative-queueing")
+            hard.extend(bank.collect_flags(core))
+            estimates.append(guard.resolve(core, estimate, soft, hard))
         return estimates
 
     def reset_quantum(self) -> None:
-        assert self.system is not None
-        n = self.num_cores
-        self._reads = [0] * n
-        self._epoch_reads = [0] * n
-        self._epoch_count = [0] * n
-        self._queueing_base = list(self.system.controller.queueing_cycles)
+        assert self.bank is not None
+        self.bank.reset()
+        self._queueing.rebase()

@@ -5,6 +5,10 @@ computing the alone stall time by subtracting per-request interference
 cycles (with a parallelism fudge factor) from the measured shared stall
 time. It predates shared-cache awareness entirely; included as a secondary
 baseline and for the repo's completeness.
+
+Stall and interference counters are sampled through the model's
+:class:`~repro.telemetry.counters.CounterBank`; see
+:class:`~repro.models.base.EstimateGuard` for the degradation semantics.
 """
 
 from __future__ import annotations
@@ -23,8 +27,17 @@ class StfmModel(SlowdownModel):
     def attach(self, system: System) -> None:
         super().attach(system)
         n = system.config.num_cores
+        bank = self.bank
+        assert bank is not None
         self._stall = [OutstandingTracker() for _ in range(n)]
-        self._accounting = PerRequestAccounting(system)
+        acct = PerRequestAccounting(system)
+        self._accounting = acct
+        self._stall_sample = bank.external(
+            "stall_cycles", lambda core: self._stall[core].read(self.now)
+        )
+        self._interference = bank.external(
+            "interference_cycles", lambda core: acct.interference_cycles[core]
+        )
         system.hierarchy.service_listeners.append(self._on_service)
 
     def _on_service(self, core: int, is_hit: bool, is_start: bool, now: int) -> None:
@@ -37,21 +50,33 @@ class StfmModel(SlowdownModel):
 
     def estimate_slowdowns(self) -> List[float]:
         assert self.system is not None
-        now = self.now
+        assert self.bank is not None and self.guard is not None
+        bank = self.bank
+        guard = self.guard
         quantum = self.system.config.quantum_cycles
         estimates: List[float] = []
         for core in range(self.num_cores):
-            shared_stall = self._stall[core].read(now)
-            interference = self._accounting.interference_cycles[core]
+            shared_stall = self._stall_sample.read(core)
+            interference = self._interference.read(core)
             alone_stall = max(0.0, shared_stall - interference)
+
+            soft: List[str] = []
             compute = quantum - shared_stall
             alone_time = compute + alone_stall
             if alone_time <= 0:
                 alone_time = max(1.0, 0.02 * quantum)
-            estimates.append(self.clamp_slowdown(quantum / alone_time))
+                soft.append("degenerate-denominator")
+            estimate = self.clamp_slowdown(quantum / alone_time)
+
+            hard: List[str] = []
+            if shared_stall > quantum or shared_stall < 0 or interference < 0:
+                hard.append("stall-exceeds-quantum")
+            hard.extend(bank.collect_flags(core))
+            estimates.append(guard.resolve(core, estimate, soft, hard))
         return estimates
 
     def reset_quantum(self) -> None:
+        assert self.bank is not None
         now = self.now
         for tracker in self._stall:
             tracker.reset(now)

@@ -62,6 +62,7 @@ from repro.harness.runner import (
 )
 from repro.resilience.campaign import result_from_json, result_to_json
 from repro.resilience.faults import RunFailure, config_fingerprint
+from repro.telemetry.spec import TelemetrySpec
 from repro.workloads.mixes import WorkloadMix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -84,6 +85,7 @@ class CellSpec:
     model_builder_args: Tuple[Any, ...] = ()
     scheduler_builder: Optional[Callable[..., Any]] = None
     scheduler_builder_args: Tuple[Any, ...] = ()
+    telemetry: Optional[TelemetrySpec] = None
 
 
 class WorkerRunError(RuntimeError):
@@ -160,6 +162,7 @@ def _cell_worker(task: _CellTask) -> Dict[str, Any]:
             alone_cache=cache,
             check_invariants=task.check_invariants,
             wall_clock_budget_s=task.wall_clock_budget_s,
+            telemetry=spec.telemetry,
         )
         return {"ok": True, "result": result}
     except Exception as exc:  # noqa: BLE001 - isolated and reported
@@ -225,6 +228,7 @@ def _failure_from_payload(
         message=payload["message"],
         traceback=payload.get("traceback", ""),
         diagnosis=payload.get("diagnosis") or {},
+        telemetry=cell.telemetry.to_json() if cell.telemetry is not None else None,
     )
 
 
@@ -268,13 +272,17 @@ def run_cells(
                 model_factories=build_model_factories(cell),
                 scheduler_factory=build_scheduler_factory(cell),
                 alone_cache=cache,
+                telemetry=cell.telemetry,
             )
             for cell in cells
         ]
 
     results: List[Optional[RunResult]] = [None] * len(cells)
     keys = [
-        campaign.run_key(cell.mix, cell.config, cell.quanta, cell.variant)
+        campaign.run_key(
+            cell.mix, cell.config, cell.quanta, cell.variant,
+            telemetry=cell.telemetry,
+        )
         for cell in cells
     ]
     pending: List[int] = []

@@ -17,6 +17,11 @@ for every hypothetical allocation).
 
 Ways are then assigned with the look-ahead algorithm on *marginal slowdown
 utility*: the decrease in estimated slowdown per extra way.
+
+When the quantum's telemetry is degraded (any core's estimate confidence
+below :data:`~repro.models.base.POLICY_CONFIDENCE_FLOOR`), repartitioning
+on the polluted statistics would thrash the cache; the policy keeps the
+previous allocation and counts the skip instead.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import List, Optional
 
 from repro.harness.system import System
 from repro.models.asm import AsmModel
+from repro.models.base import POLICY_CONFIDENCE_FLOOR
 from repro.policies.base import Policy
 from repro.policies.partition import lookahead_partition
 
@@ -39,6 +45,8 @@ class AsmCachePolicy(Policy):
         # Estimated slowdown of each core under its granted allocation,
         # consumed by ASM-Cache-Mem coordination (Section 7.2).
         self.projected_slowdowns: List[float] = []
+        # Quanta where degraded telemetry suppressed a repartition.
+        self.skipped_reallocations = 0
 
     def attach(self, system: System) -> None:
         if self.asm.system is not system:
@@ -53,6 +61,11 @@ class AsmCachePolicy(Policy):
 
     def on_quantum_end(self) -> None:
         assert self.system is not None
+        if any(
+            s.confidence < POLICY_CONFIDENCE_FLOOR for s in self.asm.last_quantum
+        ):
+            self.skipped_reallocations += 1
+            return
         total_ways = self.system.config.llc.associativity
         curves = [self.slowdown_curve(core) for core in range(self.num_cores)]
         # Marginal slowdown utility == marginal utility of -slowdown.

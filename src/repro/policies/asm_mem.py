@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.harness.system import System
 from repro.models.asm import AsmModel
+from repro.models.base import POLICY_CONFIDENCE_FLOOR
 from repro.policies.base import Policy
 
 
@@ -25,6 +26,8 @@ class AsmMemPolicy(Policy):
     def __init__(self, asm: AsmModel) -> None:
         super().__init__()
         self.asm = asm
+        # Quanta where degraded telemetry suppressed a weight update.
+        self.skipped_reallocations = 0
 
     def attach(self, system: System) -> None:
         if self.asm.system is not system:
@@ -34,6 +37,13 @@ class AsmMemPolicy(Policy):
     def on_quantum_end(self) -> None:
         assert self.system is not None
         if not self.asm.estimates_history:
+            return
+        if any(
+            s.confidence < POLICY_CONFIDENCE_FLOOR for s in self.asm.last_quantum
+        ):
+            # Reweighting epochs on polluted estimates would starve the
+            # wrong application; keep the previous weights.
+            self.skipped_reallocations += 1
             return
         slowdowns = self.asm.estimates_history[-1]
         self.system.set_epoch_weights(slowdowns)

@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.harness.system import System
 from repro.models.asm import AsmModel
+from repro.models.base import POLICY_CONFIDENCE_FLOOR
 from repro.policies.base import Policy
 from repro.policies.partition import lookahead_partition
 
@@ -31,6 +32,8 @@ class AsmQosPolicy(Policy):
         self.target_core = target_core
         self.slowdown_bound = slowdown_bound
         self.last_allocation: Optional[List[int]] = None
+        # Quanta where degraded telemetry suppressed a repartition.
+        self.skipped_reallocations = 0
 
     def attach(self, system: System) -> None:
         if self.asm.system is not system:
@@ -41,6 +44,13 @@ class AsmQosPolicy(Policy):
 
     def on_quantum_end(self) -> None:
         assert self.system is not None
+        if any(
+            s.confidence < POLICY_CONFIDENCE_FLOOR for s in self.asm.last_quantum
+        ):
+            # A QoS decision on polluted estimates could yank ways from the
+            # protected application; keep the previous partition.
+            self.skipped_reallocations += 1
+            return
         total_ways = self.system.config.llc.associativity
         others = [c for c in range(self.num_cores) if c != self.target_core]
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.parallel import CellSpec
+    from repro.telemetry.spec import TelemetrySpec
 
 from repro.config import SystemConfig
 from repro.harness.runner import (
@@ -99,6 +100,8 @@ def result_to_json(result: RunResult) -> dict:
                 "shared_ipc": r.shared_ipc,
                 "actual_slowdowns": r.actual_slowdowns,
                 "estimates": r.estimates,
+                "confidence": r.confidence,
+                "degraded": r.degraded,
             }
             for r in result.records
         ],
@@ -113,6 +116,10 @@ def result_from_json(data: dict, config: SystemConfig) -> RunResult:
             shared_ipc=list(r["shared_ipc"]),
             actual_slowdowns=list(r["actual_slowdowns"]),
             estimates={k: list(v) for k, v in r["estimates"].items()},
+            # .get(): records persisted before telemetry confidence existed
+            # load as fully-confident runs.
+            confidence={k: list(v) for k, v in r.get("confidence", {}).items()},
+            degraded={k: list(v) for k, v in r.get("degraded", {}).items()},
         )
         for r in data["records"]
     ]
@@ -285,17 +292,22 @@ class Campaign:
         config: SystemConfig,
         quanta: int,
         variant: str = "",
+        *,
+        telemetry: Optional["TelemetrySpec"] = None,
     ) -> str:
-        return stable_hash(
-            (
-                self.experiment,
-                variant,
-                mix.name,
-                mix.seed,
-                config_fingerprint(config),
-                quanta,
-            )
+        key: tuple = (
+            self.experiment,
+            variant,
+            mix.name,
+            mix.seed,
+            config_fingerprint(config),
+            quanta,
         )
+        if telemetry is not None:
+            # Appended (rather than always present) so existing stores
+            # keyed before telemetry faults existed still resume.
+            key += (telemetry,)
+        return stable_hash(key)
 
     def alone_cache(self) -> AloneRunCache:
         """The campaign's alone-run cache (persistent when storing).
@@ -336,7 +348,8 @@ class Campaign:
 
         Returns the :class:`RunResult`, or ``None`` when the run failed and
         ``keep_going`` captured it."""
-        key = self.run_key(mix, config, quanta, variant)
+        telemetry = run_kwargs.get("telemetry")
+        key = self.run_key(mix, config, quanta, variant, telemetry=telemetry)
         if self.resume and self.store is not None:
             cached = self.store.get_run(key)
             if cached is not None:
@@ -361,6 +374,7 @@ class Campaign:
                 mix=mix,
                 config=config,
                 quanta=quanta,
+                telemetry=telemetry.to_json() if telemetry is not None else None,
             )
             self.failures.append(failure)
             if self.store is not None:

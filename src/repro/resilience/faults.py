@@ -56,6 +56,10 @@ class RunFailure:
     message: str
     traceback: str = ""
     diagnosis: Dict[str, object] = field(default_factory=dict)
+    # Telemetry-fault spec (TelemetrySpec.to_json()) active during the run,
+    # or None for perfect telemetry. Recorded so replay_failure reproduces
+    # injected counter faults bit-identically.
+    telemetry: Optional[dict] = None
 
     @classmethod
     def from_exception(
@@ -67,6 +71,7 @@ class RunFailure:
         mix: WorkloadMix,
         config: SystemConfig,
         quanta: int,
+        telemetry: Optional[dict] = None,
     ) -> "RunFailure":
         diagnosis = getattr(exc, "diagnosis", None)
         return cls(
@@ -83,20 +88,24 @@ class RunFailure:
                 _traceback.format_exception(type(exc), exc, exc.__traceback__)
             ),
             diagnosis=dict(diagnosis) if isinstance(diagnosis, dict) else {},
+            telemetry=telemetry,
         )
 
     def fingerprint(self) -> str:
         """Identity of the failing (experiment, mix, platform, length) cell."""
-        return stable_hash(
-            (
-                self.experiment,
-                self.variant,
-                self.mix_name,
-                self.mix_seed,
-                self.config_fingerprint,
-                self.quanta,
-            )
+        key: tuple = (
+            self.experiment,
+            self.variant,
+            self.mix_name,
+            self.mix_seed,
+            self.config_fingerprint,
+            self.quanta,
         )
+        if self.telemetry is not None:
+            # Appended (rather than always present) so fingerprints of
+            # fault-free failures match records from earlier versions.
+            key += (tuple(sorted(self.telemetry.items())),)
+        return stable_hash(key)
 
     def to_json(self) -> dict:
         return dataclasses.asdict(self)
@@ -127,6 +136,10 @@ def replay_failure(failure: RunFailure, config: SystemConfig, **run_kwargs):
     from repro.harness.runner import run_workload
 
     run_kwargs.setdefault("quanta", failure.quanta)
+    if failure.telemetry is not None and "telemetry" not in run_kwargs:
+        from repro.telemetry.spec import TelemetrySpec
+
+        run_kwargs["telemetry"] = TelemetrySpec.from_json(failure.telemetry)
     return run_workload(rebuild_mix(failure), config, **run_kwargs)
 
 

@@ -1,0 +1,22 @@
+"""Hardware-realistic telemetry faults for the slowdown estimators.
+
+ASM's whole pipeline is driven by hardware counters (Table 1, Sections
+4.3/4.4) that a production telemetry path reads imperfectly. This package
+models that imperfection: models allocate a :class:`CounterBank`, write
+raw events into its :class:`CounterVec` counters, and *read* every value
+back through the bank, where a seeded, deterministic fault injector
+(:class:`TelemetrySpec`) can saturate, wrap, drop, delay or corrupt the
+sampled values. With no spec attached the bank is a plain pass-through
+with zero behavioural change.
+"""
+
+from repro.telemetry.counters import CounterBank, CounterVec, ExternalSample
+from repro.telemetry.spec import FAULT_CLASSES, TelemetrySpec
+
+__all__ = [
+    "CounterBank",
+    "CounterVec",
+    "ExternalSample",
+    "FAULT_CLASSES",
+    "TelemetrySpec",
+]

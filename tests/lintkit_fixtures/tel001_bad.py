@@ -1,0 +1,29 @@
+# lint: skip-file  (fixture: known TEL001 violations; models must read
+# simulator counters through their CounterBank accessors)
+
+
+class ImpatientModel:
+    """Reads raw simulator counters outside ``attach()``: every sample
+    bypasses the telemetry fault injectors and the estimate guards."""
+
+    def attach(self, system):
+        controller = system.mem.controller
+        # Registering the raw counter as a bank external *inside* attach
+        # is the one legal access — this lambda must not be flagged.
+        self._queueing = self.bank.external(
+            "queueing_cycles", lambda core: controller.queueing_cycles[core]
+        )
+        self._controller = controller
+        self._accounting = system.accounting
+        self._llc = system.cache
+        self._tracker = system.tracker
+
+    def estimate_slowdowns(self):
+        queueing = self._controller.queueing_cycles[0]
+        interference = self._accounting.interference_cycles[0]
+        demand = self._llc.demand_misses[0]
+        return queueing + interference + demand
+
+    def reset_quantum(self):
+        # Writes bypass the bank just as badly as reads.
+        self._tracker.busy_cycles = 0

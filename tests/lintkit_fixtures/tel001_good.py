@@ -1,0 +1,20 @@
+"""Fixture: a model that touches simulator counters only in ``attach()``
+and reads them through its CounterBank accessors everywhere else."""
+
+
+class GuardedModel:
+    def attach(self, system):
+        controller = system.mem.controller
+        accounting = system.accounting
+        self.bank = system.bank
+        self._queueing = self.bank.external(
+            "queueing_cycles", lambda core: controller.queueing_cycles[core]
+        )
+        self._queueing.rebase()
+        self._interference = self.bank.external(
+            "interference_cycles",
+            lambda core: accounting.interference_cycles[core],
+        )
+
+    def estimate_slowdowns(self, core):
+        return self._queueing.delta(core) + self._interference.read(core)

@@ -40,8 +40,13 @@ def _inject(asm, core, *, epochs, hits, misses, ats_hits, hit_time,
     asm._epoch_hit_time[core].busy_cycles = hit_time
     asm._epoch_miss_time[core].busy_cycles = miss_time
     asm._accesses[core] = accesses
+    # The guarded read path cross-checks physical invariants (hits +
+    # misses == accesses, epoch counts within quantum counts); keep the
+    # crafted counters consistent so the formula path runs unguarded.
+    asm._hits[core] = max(hits, accesses // 2)
+    asm._misses[core] = accesses - asm._hits[core]
     asm.system.controller.queueing_cycles[core] = (
-        asm._queueing_base[core] + queueing
+        asm._queueing._base[core] + queueing
     )
 
 

@@ -23,6 +23,7 @@ RULE_FIXTURES = {
     "CYC001": (4, "repro.cache.fixture"),
     "PKL001": (4, "fixture_module"),  # ungated: fires outside repro too
     "ACC001": (2, "repro.cache.fixture"),
+    "TEL001": (4, "repro.models.fixture"),
 }
 
 
@@ -125,6 +126,26 @@ def test_acc001_derived_total_is_a_witness():
     )
     assert {f.rule for f in lint_text(source, module="repro.cache.c")} == {"ACC001"}
     assert lint_text(witnessed, module="repro.cache.c") == []
+
+
+def test_tel001_allows_raw_reads_only_inside_attach():
+    bad = (
+        "class M:\n"
+        "    def estimate(self):\n"
+        "        return self.ctrl.queueing_cycles[0]\n"
+    )
+    good = (
+        "class M:\n"
+        "    def attach(self, system):\n"
+        "        ctrl = system.ctrl\n"
+        "        self.bank.external('q', lambda c: ctrl.queueing_cycles[c])\n"
+    )
+    assert {f.rule for f in lint_text(bad, module="repro.models.asm")} == {"TEL001"}
+    assert lint_text(good, module="repro.models.asm") == []
+    # The shared accounting helpers *own* these counters and are exempt;
+    # so is everything outside repro.models.
+    assert lint_text(bad, module="repro.models.perrequest") == []
+    assert lint_text(bad, module="repro.harness.runner") == []
 
 
 # ----------------------------------------------------------------------

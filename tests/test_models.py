@@ -119,7 +119,7 @@ def test_asm_quantum_reset_clears_counters(quick_config, heavy_mix):
     asm = AsmModel(sampled_sets=16)
     asm.attach(system)
     system.run_quantum()
-    assert asm._accesses == [0, 0, 0, 0]  # reset after the quantum hook
+    assert list(asm._accesses) == [0, 0, 0, 0]  # reset after the quantum hook
     assert len(asm.estimates_history) == 1
 
 
