@@ -177,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "'repro telemetry-faults' for the full sweep")
     parser.add_argument("--telemetry-seed", type=int, default=0,
                         help="seed for the telemetry fault injector")
+    parser.add_argument("--profile", action="store_true",
+                        help="time every computed cell and print the "
+                             "per-cell timing table; snapshots per-quantum "
+                             "metrics into the campaign store")
     return parser
 
 
@@ -191,10 +195,25 @@ def _unknown_experiment(name: str) -> int:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # The observability verbs have their own argument vocabulary; dispatch
+    # before the experiment parser so 'repro trace --help' behaves.
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import trace_main
+
+        return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.obs.cli import profile_main
+
+        return profile_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:14s} {DESCRIPTIONS[name]}")
+        print(f"{'trace':14s} capture/inspect structured traces "
+              "(repro trace show|summarize)")
+        print(f"{'profile':14s} stage timers + cProfile on a small mix")
         return 0
     if args.experiment not in EXPERIMENTS:
         return _unknown_experiment(args.experiment)
@@ -213,6 +232,7 @@ def main(argv=None) -> int:
         keep_going=args.keep_going,
         check_invariants=args.check_invariants,
         wall_clock_budget_s=args.wall_clock_budget,
+        profile=args.profile,
     )
 
     runner = EXPERIMENTS[args.experiment]
@@ -253,6 +273,9 @@ def main(argv=None) -> int:
     print(f"\n[{args.experiment} finished in {time.time() - start:.1f}s]")
     if campaign.computed or campaign.resumed or campaign.failures:
         print(campaign.summary())
+    if args.profile and campaign.cell_timings:
+        print("\ncell timings:")
+        print(campaign.timing_table())
     if campaign.failures:
         print(campaign.failure_summary())
     if args.out:

@@ -29,6 +29,9 @@ from repro.harness.system import System
 from repro.harness import metrics
 from repro.mem.schedulers import Scheduler
 from repro.models.base import SlowdownModel
+from repro.obs.bus import TraceBus
+from repro.obs.events import FAULT, QUANTUM
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.watchdog import QuantumWatchdog
 from repro.telemetry.spec import TelemetrySpec
 from repro.workloads.mixes import WorkloadMix
@@ -305,6 +308,76 @@ class RunResult:
         return metrics.harmonic_speedup(self.mean_actual_slowdowns())
 
 
+def _emit_fault(
+    obs: Optional[TraceBus],
+    system: System,
+    quantum: int,
+    kind: str,
+    exc: BaseException,
+) -> None:
+    """Record a run-aborting exception on the trace bus before re-raising.
+
+    The FAULT event is the trace's last word on an aborted run: the
+    inspector renders it even when no quantum boundary follows."""
+    if obs is not None and obs.mask & FAULT:
+        obs.emit(
+            system.engine.now,
+            FAULT,
+            kind,
+            quantum=quantum,
+            error_type=type(exc).__name__,
+            message=str(exc),
+        )
+
+
+def _snap_metrics(
+    run_metrics: MetricsRegistry,
+    system: System,
+    models: Dict[str, SlowdownModel],
+    prev: Dict[str, List[int]],
+    shared_ipc: List[float],
+) -> None:
+    """Update the registry with this quantum's deltas and snapshot it.
+
+    The per-core counters preserve the Table 1 conservation law by
+    construction (``demand_accesses`` is incremented by ``hits + misses``),
+    which ``tests/test_obs.py`` asserts on every snapshot.
+    """
+    hierarchy = system.hierarchy
+    controller = system.controller
+    run_metrics.counter("engine.events").inc(system.engine.events_executed)
+    delay_hist = run_metrics.histogram("queueing_delay")
+    for core in range(system.config.num_cores):
+        hits_delta = hierarchy.demand_hits[core] - prev["hits"][core]
+        misses_delta = hierarchy.demand_misses[core] - prev["misses"][core]
+        queueing_delta = controller.queueing_cycles[core] - prev["queueing"][core]
+        run_metrics.counter(f"core{core}.demand_hits").inc(hits_delta)
+        run_metrics.counter(f"core{core}.demand_misses").inc(misses_delta)
+        run_metrics.counter(f"core{core}.demand_accesses").inc(
+            hits_delta + misses_delta
+        )
+        run_metrics.gauge(f"core{core}.shared_ipc").set(shared_ipc[core])
+        if misses_delta > 0:
+            delay_hist.observe(queueing_delta / misses_delta)
+        prev["hits"][core] = hierarchy.demand_hits[core]
+        prev["misses"][core] = hierarchy.demand_misses[core]
+        prev["queueing"][core] = controller.queueing_cycles[core]
+    for name, model in models.items():
+        stats = model.trace_stats()
+        if not stats:
+            continue
+        for core, stat in enumerate(stats):
+            if "car_alone" in stat:
+                run_metrics.gauge(f"{name}.core{core}.car_alone").set(
+                    stat["car_alone"]
+                )
+            if "car_shared" in stat:
+                run_metrics.gauge(f"{name}.core{core}.car_shared").set(
+                    stat["car_shared"]
+                )
+    run_metrics.snap(system.engine.now)
+
+
 def run_workload(
     mix: WorkloadMix,
     config: SystemConfig,
@@ -320,6 +393,8 @@ def run_workload(
     system_hooks: Sequence[Callable[[System], None]] = (),
     profile_sink: Optional[Callable[[RunProfile], None]] = None,
     telemetry: Optional[TelemetrySpec] = None,
+    obs: Optional[TraceBus] = None,
+    run_metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Run ``mix`` for ``quanta`` quanta with the given models/policies and
     compute per-quantum ground-truth slowdowns.
@@ -339,6 +414,14 @@ def run_workload(
     ``profile_sink`` opts into lightweight wall-clock profiling: after the
     run it receives a :class:`RunProfile` with events/sec and the time
     split between alone-profile work and the shared quanta.
+    ``obs`` is an optional :class:`~repro.obs.bus.TraceBus` threaded into
+    the system, models and policies: the runner itself emits one QUANTUM
+    event per boundary (ground truth + IPC) and FAULT events when a
+    watchdog/deadline abort crosses it. ``run_metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshotted at every
+    quantum boundary (per-core demand hits/misses/accesses, shared IPC,
+    queueing-delay histogram, per-model CAR gauges). Both are passive:
+    a run with them attached is bit-identical to one without.
     """
     profile_start = _time.perf_counter() if profile_sink is not None else 0.0
     config = dataclasses.replace(config, num_cores=mix.num_cores)
@@ -347,7 +430,7 @@ def run_workload(
     system = System(config, mix.traces(), scheduler=scheduler, seed=mix.seed,
                     enable_epochs=enable_epochs,
                     epoch_assignment=epoch_assignment,
-                    telemetry=telemetry)
+                    telemetry=telemetry, obs=obs)
 
     models: Dict[str, SlowdownModel] = {}
     for name, factory in (model_factories or {}).items():
@@ -386,16 +469,31 @@ def run_workload(
     shared_events = 0
     records: List[QuantumRecord] = []
     prev_instructions = [0] * mix.num_cores
+    prev_hier: Optional[Dict[str, List[int]]] = None
+    if run_metrics is not None:
+        prev_hier = {
+            "hits": [0] * mix.num_cores,
+            "misses": [0] * mix.num_cores,
+            "queueing": [0] * mix.num_cores,
+        }
     for q in range(quanta):
         quantum_start = (
             _time.perf_counter() if profile_sink is not None else 0.0
         )
-        system.run_quantum(wall_deadline=watchdog.next_deadline())
+        try:
+            system.run_quantum(wall_deadline=watchdog.next_deadline())
+        except Exception as exc:
+            _emit_fault(obs, system, q, "deadline-exceeded", exc)
+            raise
         if profile_sink is not None:
             quantum_times.append(_time.perf_counter() - quantum_start)
             shared_events += system.engine.events_executed
         instructions = system.committed_instructions()
-        watchdog.check_quantum(system, prev_instructions, instructions, q)
+        try:
+            watchdog.check_quantum(system, prev_instructions, instructions, q)
+        except Exception as exc:
+            _emit_fault(obs, system, q, "watchdog-stall", exc)
+            raise
         actual: List[float] = []
         shared_ipc: List[float] = []
         for core in range(mix.num_cores):
@@ -424,6 +522,18 @@ def run_workload(
             if q < len(model.confidence_history):
                 record.confidence[name] = list(model.confidence_history[q])
                 record.degraded[name] = list(model.degraded_history[q])
+        if obs is not None and obs.mask & QUANTUM:
+            obs.emit(
+                system.engine.now,
+                QUANTUM,
+                "quantum",
+                index=q,
+                instructions=list(instructions),
+                shared_ipc=list(shared_ipc),
+                actual_slowdowns=list(actual),
+            )
+        if run_metrics is not None and prev_hier is not None:
+            _snap_metrics(run_metrics, system, models, prev_hier, shared_ipc)
         records.append(record)
         prev_instructions = instructions
 

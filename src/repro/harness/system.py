@@ -31,6 +31,8 @@ from repro.cache.shared_cache import SharedCache
 from repro.mem.controller import MemoryController
 from repro.mem.request import MemRequest
 from repro.mem.schedulers import Scheduler
+from repro.obs.bus import TraceBus
+from repro.obs.events import CACHE, EPOCH
 from repro.telemetry.spec import TelemetrySpec
 
 AccessListener = Callable[[int, int, bool, bool, int], None]
@@ -73,6 +75,10 @@ class MemoryHierarchy:
         self.demand_hits = [0] * config.num_cores
         self.demand_misses = [0] * config.num_cores
         self.secondary_misses = [0] * config.num_cores
+        # Per-access trace bus (repro.obs). System.__init__ sets this only
+        # when the bus has the CACHE category enabled, so the hot path
+        # pays a single attribute-load + None check per access.
+        self.obs: Optional[TraceBus] = None
 
     def demand_accesses(self, core: int) -> int:
         """Primary demand accesses of ``core``: hits + misses by
@@ -110,6 +116,8 @@ class MemoryHierarchy:
         result = self.llc.access(core, line_addr, is_write)
         if result.hit:
             self.demand_hits[core] += 1
+            if self.obs is not None:
+                self.obs.emit(now, CACHE, "access", core=core, hit=True)
             completion = now + latency
             if self.access_listeners:
                 self._notify_access(core, line_addr, is_write, True, now)
@@ -124,6 +132,8 @@ class MemoryHierarchy:
 
         # Primary miss: allocate happened functionally; now the timing path.
         self.demand_misses[core] += 1
+        if self.obs is not None:
+            self.obs.emit(now, CACHE, "access", core=core, hit=False)
         if result.writeback_line_addr is not None:
             self._enqueue_writeback(result.victim_owner, result.writeback_line_addr)
         entry = _MshrEntry(primary_core=core)
@@ -214,13 +224,18 @@ class System:
         enable_epochs: bool = True,
         epoch_assignment: str = "random",
         telemetry: Optional[TelemetrySpec] = None,
+        obs: Optional[TraceBus] = None,
     ) -> None:
         """``epoch_assignment`` is "random" (the paper's probabilistic
         policy, required for ASM-Mem's weighted assignment) or
         "round_robin" (the alternative Section 4.2 mentions).
         ``telemetry`` attaches a deterministic counter-fault injector
         (see :mod:`repro.telemetry`) that every model's counter bank
-        picks up when it attaches; ``None`` means perfect telemetry."""
+        picks up when it attaches; ``None`` means perfect telemetry.
+        ``obs`` is an optional :class:`~repro.obs.bus.TraceBus`; models
+        and policies pick it up when they attach, the epoch driver emits
+        ownership events through it, and — only when its CACHE category
+        is enabled — the memory hierarchy traces individual accesses."""
         if epoch_assignment not in ("random", "round_robin"):
             raise ValueError("epoch_assignment must be 'random' or 'round_robin'")
         config.validate()
@@ -230,11 +245,14 @@ class System:
             )
         self.config = config
         self.telemetry = telemetry
+        self.obs = obs
         self.engine = Engine()
         self.controller = MemoryController(
             self.engine, config.dram, config.num_cores, scheduler
         )
         self.hierarchy = MemoryHierarchy(self.engine, config, self.controller)
+        if obs is not None and obs.mask & CACHE:
+            self.hierarchy.obs = obs
         self.cores = [
             Core(self.engine, i, config.core, trace, self.hierarchy.access)
             for i, trace in enumerate(traces)
@@ -285,6 +303,9 @@ class System:
             owner = self._epoch_rng.choices(cores, weights=self.epoch_weights)[0]
         self.current_epoch_owner = owner
         self.controller.set_priority_core(owner)
+        obs = self.obs
+        if obs is not None and obs.mask & EPOCH:
+            obs.emit(self.engine.now, EPOCH, "epoch", owner=owner)
         for listener in self.epoch_listeners:
             listener(owner)
         warmup = self.config.epoch_warmup_cycles
@@ -299,6 +320,9 @@ class System:
         if owner != self.current_epoch_owner:  # pragma: no cover - defensive
             return
         self.controller.set_accounting_core(owner)
+        obs = self.obs
+        if obs is not None and obs.mask & EPOCH:
+            obs.emit(self.engine.now, EPOCH, "measure", owner=owner)
         for listener in self.measure_listeners:
             listener(owner)
 

@@ -6,10 +6,12 @@ text + an occurrence index among identical lines — so unrelated edits
 above a grandfathered finding do not resurrect it, while a new identical
 violation elsewhere in the file is still caught.
 
-The checked-in repository keeps an **empty** baseline
-(``lint-baseline.json``): new violations fail CI immediately. The file
-exists anyway so the mechanism stays exercised and a future large
-refactor can grandfather intentionally with ``--write-baseline``.
+The checked-in repository baselines **only DOC001** findings (docstring
+gaps that predate the rule); every simulator-invariant rule holds with no
+grandfathered findings, so a new violation fails CI immediately. Each
+entry records the rule and path next to the fingerprint so the
+grandfathered set stays reviewable; bare-string entries (the original
+format) still load.
 """
 
 from __future__ import annotations
@@ -67,7 +69,13 @@ def load(path: str) -> List[str]:
     raw = data.get("findings", [])
     if not isinstance(raw, list):
         raise ValueError(f"{path}: 'findings' must be a list")
-    return [str(item) for item in raw]
+    out: List[str] = []
+    for item in raw:
+        if isinstance(item, dict):
+            out.append(str(item.get("fingerprint", "")))
+        else:
+            out.append(str(item))
+    return out
 
 
 def write(
@@ -75,9 +83,19 @@ def write(
     findings: Sequence[Finding],
     sources: Dict[str, List[str]],
 ) -> None:
+    """Write ``findings`` as the new baseline (rule/path kept for review)."""
+    entries = [
+        {
+            "fingerprint": digest,
+            "rule": finding.rule,
+            "path": _normalize_path(finding.path),
+        }
+        for finding, digest in fingerprints(findings, sources)
+    ]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
     payload = {
         "version": BASELINE_VERSION,
-        "findings": sorted(digest for _, digest in fingerprints(findings, sources)),
+        "findings": entries,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

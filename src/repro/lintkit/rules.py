@@ -17,6 +17,9 @@ ACC001    every class that counts both hits and misses must witness the
 TEL001    slowdown models read simulator counters only through their
           ``CounterBank`` accessors (raw access is legal only inside
           ``attach()``, where the externals are registered)
+DOC001    public classes/functions in the observability layer and the
+          model zoo carry docstrings (the documentation suite links
+          into both; an undocumented symbol is a broken promise)
 ========  ============================================================
 """
 
@@ -858,10 +861,59 @@ class Tel001RawCounterRead(Rule):
             )
 
 
+@register
+class Doc001MissingDocstring(Rule):
+    """Public API of the documented packages carries docstrings.
+
+    ``docs/models.md`` and ``docs/architecture.md`` link into
+    ``repro.models`` and ``repro.obs`` by symbol name; an undocumented
+    public class or function there is a hole in the documentation suite.
+    Names starting with ``_`` (including dunders) are exempt, as are
+    members of private classes and functions nested inside other
+    functions.
+    """
+
+    code = "DOC001"
+    summary = "public class/function lacks a docstring"
+    severity = "warning"
+    packages = ("repro.obs", "repro.models")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        yield from self._check_body(ctx, ctx.tree.body, private_scope=False)
+
+    def _check_body(
+        self, ctx: LintContext, body: List[ast.stmt], private_scope: bool
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                private = private_scope or node.name.startswith("_")
+                if not private and ast.get_docstring(node) is None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"public class `{node.name}` has no docstring; "
+                        "the docs suite links into this package by symbol",
+                    )
+                yield from self._check_body(ctx, node.body, private)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Private names and dunders both start with "_"; nested
+                # functions are never visited (we only descend classes).
+                if private_scope or node.name.startswith("_"):
+                    continue
+                if ast.get_docstring(node) is None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"public function `{node.name}` has no docstring; "
+                        "the docs suite links into this package by symbol",
+                    )
+
+
 __all__ = [
     "Acc001HitsMissesConservation",
     "Cyc001TrueDivisionIntoCycles",
     "DETERMINISM_PACKAGES",
+    "Doc001MissingDocstring",
     "Det001WallClockAndGlobalRng",
     "Det002SetIteration",
     "HOT_PACKAGES",

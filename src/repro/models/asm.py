@@ -34,7 +34,7 @@ estimate (see :class:`~repro.models.base.EstimateGuard`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.auxtag import AuxiliaryTagStore
 from repro.harness.system import System
@@ -330,6 +330,23 @@ class AsmModel(SlowdownModel):
             self._quantum_hit_time[core].reset(now)
             self._quantum_miss_time[core].reset(now)
             self.ats[core].reset_stats()
+
+    def trace_stats(self) -> Optional[List[Dict[str, float]]]:
+        """Per-core :class:`AsmQuantumStats` projection for the MODEL
+        trace event — exactly the numbers the model itself used, so the
+        trace inspector's CAR columns match ``last_quantum`` by
+        construction."""
+        return [
+            {
+                "car_alone": s.car_alone,
+                "car_shared": s.car_shared,
+                "quantum_hits": float(s.quantum_hits),
+                "quantum_misses": float(s.quantum_misses),
+                "avg_hit_time": s.avg_hit_time,
+                "avg_miss_time": s.avg_miss_time,
+            }
+            for s in self.last_quantum
+        ]
 
     # ------------------------------------------------------------------
     def car_for_ways(self, core: int, ways: int) -> float:

@@ -8,9 +8,11 @@ at each quantum boundary via :meth:`SlowdownModel.estimate_slowdowns`.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.harness.system import System
+from repro.obs.bus import TraceBus
+from repro.obs.events import GUARD, MODEL
 from repro.telemetry import CounterBank
 
 #: Policies skip a reallocation decision when any core's estimate
@@ -137,6 +139,9 @@ class SlowdownModel:
         self.degraded_history: List[List[Optional[str]]] = []
         self.guard: Optional[EstimateGuard] = None
         self.bank: Optional[CounterBank] = None
+        # Observability bus (repro.obs), inherited from the system at
+        # attach(); None keeps every emit site a single predicate check.
+        self.obs: Optional[TraceBus] = None
 
     # -- lifecycle ------------------------------------------------------
     def attach(self, system: System) -> None:
@@ -146,6 +151,7 @@ class SlowdownModel:
         self.bank = CounterBank(
             system.config.num_cores, spec=system.telemetry, salt=self.name
         )
+        self.obs = system.obs
         system.quantum_listeners.append(self._on_quantum)
 
     def _on_quantum(self) -> None:
@@ -155,7 +161,46 @@ class SlowdownModel:
         if guard is not None:
             self.confidence_history.append(list(guard.confidence))
             self.degraded_history.append(list(guard.reasons))
+        obs = self.obs
+        if obs is not None and obs.mask & (MODEL | GUARD):
+            self._emit_trace(obs, estimates, guard)
         self.reset_quantum()
+
+    def _emit_trace(
+        self,
+        obs: TraceBus,
+        estimates: List[float],
+        guard: Optional[EstimateGuard],
+    ) -> None:
+        """Publish this quantum's estimates (MODEL) and any degradations
+        (GUARD) to the trace bus. Called only when a category is enabled."""
+        assert self.system is not None
+        now = self.system.engine.now
+        if obs.mask & MODEL:
+            confidence = list(guard.confidence) if guard is not None else []
+            degraded = list(guard.reasons) if guard is not None else []
+            obs.emit(
+                now,
+                MODEL,
+                "estimates",
+                model=self.name,
+                estimates=list(estimates),
+                confidence=confidence,
+                degraded=degraded,
+                stats=self.trace_stats(),
+            )
+        if obs.mask & GUARD and guard is not None:
+            for core, reason in enumerate(guard.reasons):
+                if reason is not None:
+                    obs.emit(
+                        now,
+                        GUARD,
+                        "degraded",
+                        model=self.name,
+                        core=core,
+                        reason=reason,
+                        confidence=guard.confidence[core],
+                    )
 
     # -- subclass API -----------------------------------------------------
     def estimate_slowdowns(self) -> List[float]:
@@ -164,6 +209,15 @@ class SlowdownModel:
 
     def reset_quantum(self) -> None:
         """Clear per-quantum state (long-lived tag state is kept)."""
+
+    def trace_stats(self) -> Optional[List[Dict[str, float]]]:
+        """Optional per-core stats for the MODEL trace event.
+
+        Subclasses with a richer per-quantum snapshot (ASM's
+        ``AsmQuantumStats``) return one JSON-ready dict per core —
+        e.g. ``car_alone``/``car_shared`` — which the trace inspector
+        renders next to the estimates. ``None`` omits the field."""
+        return None
 
     # -- helpers ----------------------------------------------------------
     @property

@@ -1,0 +1,116 @@
+"""Trace sinks: where the bus delivers events.
+
+Three built-ins cover the intended uses:
+
+* :class:`RingBufferSink` — bounded in-memory buffer ("flight recorder"):
+  always cheap, keeps the last N events for post-mortem inspection;
+* :class:`JsonlSink` — one JSON object per line to a file, loadable with
+  :func:`read_jsonl` and by ``repro trace show``;
+* :class:`NullSink` — drops everything; useful for measuring pure
+  emission overhead.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, List, Optional, TextIO
+
+from repro.obs.events import TraceEvent
+
+
+class TraceSink:
+    """Sink interface: subclasses override :meth:`write` (and maybe
+    :meth:`close`)."""
+
+    def write(self, event: TraceEvent) -> None:
+        """Receive one event from the bus."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/close any resources; the base implementation is a no-op."""
+
+
+class NullSink(TraceSink):
+    """Counts events and drops them."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def write(self, event: TraceEvent) -> None:
+        """Discard ``event`` (the counter is the only side effect)."""
+        self.count += 1
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.total = 0
+
+    def write(self, event: TraceEvent) -> None:
+        """Append ``event``, evicting the oldest once at capacity."""
+        self._ring.append(event)
+        self.total += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted because the buffer was full."""
+        return self.total - len(self._ring)
+
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class JsonlSink(TraceSink):
+    """Writes each event as one JSON line to ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[TextIO] = open(path, "w")
+
+    def write(self, event: TraceEvent) -> None:
+        """Serialise ``event`` and append it to the file."""
+        handle = self._handle
+        if handle is None:
+            raise ValueError(f"JsonlSink({self.path!r}) is closed")
+        handle.write(json.dumps(event.to_json()) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load the events a :class:`JsonlSink` wrote, skipping torn lines."""
+    events: List[TraceEvent] = []
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn trailing line from an interrupted run
+            events.append(TraceEvent.from_json(record))
+    return events
+
+
+__all__ = [
+    "JsonlSink",
+    "NullSink",
+    "RingBufferSink",
+    "TraceSink",
+    "read_jsonl",
+]

@@ -39,6 +39,7 @@ import dataclasses
 import traceback as _traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -56,10 +57,12 @@ from repro.harness.runner import (
     AloneProfile,
     AloneRunCache,
     ModelFactory,
+    RunProfile,
     RunResult,
     run_alone,
     run_workload,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.campaign import result_from_json, result_to_json
 from repro.resilience.faults import RunFailure, config_fingerprint
 from repro.telemetry.spec import TelemetrySpec
@@ -146,6 +149,7 @@ class _CellTask:
     profiles: Tuple[Tuple[ProfileKey, AloneProfile], ...]
     check_invariants: bool
     wall_clock_budget_s: Optional[float]
+    profile: bool = False
 
 
 def _cell_worker(task: _CellTask) -> Dict[str, Any]:
@@ -153,6 +157,8 @@ def _cell_worker(task: _CellTask) -> Dict[str, Any]:
     try:
         cache = AloneRunCache()
         cache.absorb(task.profiles)
+        captured: List[RunProfile] = []
+        run_metrics = MetricsRegistry() if task.profile else None
         result = run_workload(
             spec.mix,
             spec.config,
@@ -163,8 +169,17 @@ def _cell_worker(task: _CellTask) -> Dict[str, Any]:
             check_invariants=task.check_invariants,
             wall_clock_budget_s=task.wall_clock_budget_s,
             telemetry=spec.telemetry,
+            profile_sink=captured.append if task.profile else None,
+            run_metrics=run_metrics,
         )
-        return {"ok": True, "result": result}
+        payload: Dict[str, Any] = {"ok": True, "result": result}
+        if captured:
+            payload["wall_s"] = captured[0].wall_time_s
+            payload["events"] = captured[0].events_executed
+        if run_metrics is not None:
+            # Snapshots are plain dicts: picklable as-is.
+            payload["metrics"] = run_metrics.snapshots
+        return payload
     except Exception as exc:  # noqa: BLE001 - isolated and reported
         return {"ok": False, **_error_payload(exc)}
 
@@ -355,10 +370,14 @@ def run_cells(
             profiles=tuple((key, have[key]) for key in cell_keys[i]),
             check_invariants=campaign.check_invariants,
             wall_clock_budget_s=campaign.wall_clock_budget_s,
+            profile=campaign.profile,
         )
         for i in runnable
     ]
+    fanout_start = perf_counter() if campaign.profile else 0.0
     outcomes = _run_tasks(_cell_worker, tasks, workers)
+    fanout_elapsed = perf_counter() - fanout_start if campaign.profile else 0.0
+    busy_s = 0.0
     for i, (kind, value) in zip(runnable, outcomes):
         if kind == "crash":
             _record_failure(
@@ -371,8 +390,22 @@ def run_cells(
                 campaign.store.put_run(keys[i], result_to_json(result))
             campaign.computed += 1
             results[i] = result
+            if "wall_s" in value:
+                busy_s += value["wall_s"]
+                campaign.record_timing(
+                    cells[i].mix.name, cells[i].variant, cells[i].quanta,
+                    value["wall_s"], value.get("events", 0),
+                )
+            if campaign.store is not None and value.get("metrics"):
+                campaign.store.put_metrics(keys[i], value["metrics"])
         else:
             _record_failure(campaign, cells[i], value)
+    if campaign.profile and fanout_elapsed > 0 and busy_s > 0:
+        # Busy fraction of the pool during the cell fan-out: 1.0 means
+        # every worker simulated for the whole phase.
+        campaign.pool_utilization = min(
+            1.0, busy_s / (fanout_elapsed * workers)
+        )
     return results
 
 

@@ -65,6 +65,7 @@ class AsmCachePolicy(Policy):
             s.confidence < POLICY_CONFIDENCE_FLOOR for s in self.asm.last_quantum
         ):
             self.skipped_reallocations += 1
+            self.trace("skip", reason="low-confidence")
             return
         total_ways = self.system.config.llc.associativity
         curves = [self.slowdown_curve(core) for core in range(self.num_cores)]
@@ -75,4 +76,5 @@ class AsmCachePolicy(Policy):
         self.projected_slowdowns = [
             curves[core][allocation[core]] for core in range(self.num_cores)
         ]
+        self.trace("reallocation", allocation=list(allocation))
         self.system.hierarchy.llc.set_partition(allocation)

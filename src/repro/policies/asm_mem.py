@@ -44,6 +44,8 @@ class AsmMemPolicy(Policy):
             # Reweighting epochs on polluted estimates would starve the
             # wrong application; keep the previous weights.
             self.skipped_reallocations += 1
+            self.trace("skip", reason="low-confidence")
             return
         slowdowns = self.asm.estimates_history[-1]
+        self.trace("reweight", weights=list(slowdowns))
         self.system.set_epoch_weights(slowdowns)

@@ -4,9 +4,11 @@ after the slowdown models have produced their estimates."""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.harness.system import System
+from repro.obs.bus import TraceBus
+from repro.obs.events import POLICY
 
 
 class Policy:
@@ -16,12 +18,28 @@ class Policy:
 
     def __init__(self) -> None:
         self.system: Optional[System] = None
+        # Observability bus (repro.obs), inherited from the system at
+        # attach(); None keeps every decision site a single predicate.
+        self.obs: Optional[TraceBus] = None
 
     def attach(self, system: System) -> None:
         """Register on the system. Policies are attached *after* models so
         their quantum hook runs once fresh estimates are available."""
         self.system = system
+        self.obs = system.obs
         system.quantum_listeners.append(self.on_quantum_end)
+
+    def trace(self, kind: str, **data: Any) -> None:
+        """Emit one POLICY trace event (``reallocation``/``reweight``/
+        ``skip``) tagged with this policy's name; a no-op when tracing
+        is disabled."""
+        obs = self.obs
+        if obs is not None and obs.mask & POLICY:
+            assert self.system is not None
+            obs.emit(
+                self.system.engine.now, POLICY, kind,
+                policy=self.name, **data,
+            )
 
     def on_quantum_end(self) -> None:
         raise NotImplementedError

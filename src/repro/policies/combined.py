@@ -28,7 +28,9 @@ class AsmCacheMemPolicy(Policy):
         # Register only ourselves; we drive the cache policy manually so the
         # ordering (partition first, then bandwidth weights) is explicit.
         self.system = system
+        self.obs = system.obs
         self.cache_policy.system = system
+        self.cache_policy.obs = system.obs
         system.quantum_listeners.append(self.on_quantum_end)
 
     def on_quantum_end(self) -> None:
@@ -36,4 +38,5 @@ class AsmCacheMemPolicy(Policy):
         self.cache_policy.on_quantum_end()
         projected = self.cache_policy.projected_slowdowns
         if projected and sum(projected) > 0:
+            self.trace("reweight", weights=list(projected))
             self.system.set_epoch_weights(projected)

@@ -50,6 +50,7 @@ class AsmQosPolicy(Policy):
             # A QoS decision on polluted estimates could yank ways from the
             # protected application; keep the previous partition.
             self.skipped_reallocations += 1
+            self.trace("skip", reason="low-confidence")
             return
         total_ways = self.system.config.llc.associativity
         others = [c for c in range(self.num_cores) if c != self.target_core]
@@ -74,6 +75,7 @@ class AsmQosPolicy(Policy):
         for core, ways in zip(others, other_alloc):
             allocation[core] = ways
         self.last_allocation = allocation
+        self.trace("reallocation", allocation=list(allocation))
         self.system.hierarchy.llc.set_partition(allocation)
 
 

@@ -36,10 +36,12 @@ from repro.harness.runner import (
     AloneProfile,
     AloneRunCache,
     QuantumRecord,
+    RunProfile,
     RunResult,
     run_alone,
     run_workload,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.faults import (
     RunFailure,
     config_fingerprint,
@@ -128,6 +130,22 @@ def result_from_json(data: dict, config: SystemConfig) -> RunResult:
     return RunResult(mix=mix, config=config, records=records)
 
 
+@dataclasses.dataclass
+class CellTiming:
+    """Wall-clock accounting for one profiled campaign cell."""
+
+    mix: str
+    variant: str
+    quanta: int
+    wall_s: float
+    events: int  # shared-run engine events
+
+    @property
+    def events_per_s(self) -> float:
+        """Shared-run engine events per wall second for this cell."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
 class CampaignStore:
     """Append-only JSONL store for one experiment's campaign state."""
 
@@ -137,6 +155,7 @@ class CampaignStore:
         self._runs_path = os.path.join(root, "runs.jsonl")
         self._alone_path = os.path.join(root, "alone.jsonl")
         self._failures_path = os.path.join(root, "failures.jsonl")
+        self._metrics_path = os.path.join(root, "metrics.jsonl")
         # Last record wins so a recomputed key supersedes stale entries.
         self._runs: Dict[str, dict] = {
             r["key"]: r["result"]
@@ -175,6 +194,20 @@ class CampaignStore:
         }
         self._alone[key] = record
         _append_jsonl(self._alone_path, record)
+
+    # -- metrics snapshots ----------------------------------------------
+    def put_metrics(self, key: str, snapshots: List[dict]) -> None:
+        """Persist a run's per-quantum metrics snapshots next to its
+        checkpoint (same ``key`` as :meth:`put_run`)."""
+        _append_jsonl(self._metrics_path, {"key": key, "snapshots": snapshots})
+
+    def get_metrics(self, key: str) -> Optional[List[dict]]:
+        """The last metrics snapshots persisted under ``key``, if any."""
+        found: Optional[List[dict]] = None
+        for record in _read_jsonl(self._metrics_path):
+            if record.get("key") == key and "snapshots" in record:
+                found = list(record["snapshots"])
+        return found
 
     # -- failures -------------------------------------------------------
     def append_failure(self, failure: RunFailure) -> None:
@@ -258,7 +291,12 @@ class Campaign:
       ``None``);
     * threads ``check_invariants`` / ``wall_clock_budget_s`` into every
       run it launches;
-    * persists each freshly computed result before moving on.
+    * persists each freshly computed result before moving on;
+    * with ``profile`` set, times every computed cell (wall seconds,
+      engine events — see :meth:`timing_table`) and snapshots a
+      per-quantum :class:`~repro.obs.metrics.MetricsRegistry` into the
+      store's ``metrics.jsonl`` next to the run checkpoint. Profiling is
+      passive: the simulated results are bit-identical.
 
     With ``store_dir=None`` the campaign keeps fault isolation but skips
     persistence (useful for tests and ad-hoc sweeps).
@@ -273,6 +311,7 @@ class Campaign:
         keep_going: bool = False,
         check_invariants: bool = False,
         wall_clock_budget_s: Optional[float] = None,
+        profile: bool = False,
     ) -> None:
         self.experiment = experiment
         self.store = CampaignStore(store_dir) if store_dir else None
@@ -280,9 +319,14 @@ class Campaign:
         self.keep_going = keep_going
         self.check_invariants = check_invariants
         self.wall_clock_budget_s = wall_clock_budget_s
+        self.profile = profile
         self.failures: List[RunFailure] = []
         self.computed = 0
         self.resumed = 0
+        self.cell_timings: List[CellTiming] = []
+        #: busy-fraction of the worker pool during the last parallel
+        #: fan-out (set by :func:`repro.parallel.run_cells` when profiling).
+        self.pool_utilization: Optional[float] = None
         self._alone_cache: Optional[AloneRunCache] = None
 
     # ------------------------------------------------------------------
@@ -355,6 +399,14 @@ class Campaign:
             if cached is not None:
                 self.resumed += 1
                 return result_from_json(cached, config)
+        captured_profiles: List[RunProfile] = []
+        run_metrics: Optional[MetricsRegistry] = None
+        if self.profile:
+            if "profile_sink" not in run_kwargs:
+                run_kwargs["profile_sink"] = captured_profiles.append
+            if "run_metrics" not in run_kwargs:
+                run_metrics = MetricsRegistry()
+                run_kwargs["run_metrics"] = run_metrics
         try:
             result = run_workload(
                 mix,
@@ -385,9 +437,52 @@ class Campaign:
         if self.store is not None:
             self.store.put_run(key, result_to_json(result))
         self.computed += 1
+        if captured_profiles:
+            profile = captured_profiles[0]
+            self.record_timing(
+                mix.name, variant, quanta,
+                profile.wall_time_s, profile.events_executed,
+            )
+        if run_metrics is not None and self.store is not None:
+            self.store.put_metrics(key, run_metrics.snapshots)
         return result
 
     # ------------------------------------------------------------------
+    def record_timing(
+        self, mix: str, variant: str, quanta: int, wall_s: float, events: int
+    ) -> None:
+        """Append one profiled cell's wall-clock accounting."""
+        self.cell_timings.append(
+            CellTiming(
+                mix=mix, variant=variant, quanta=quanta,
+                wall_s=wall_s, events=events,
+            )
+        )
+
+    def timing_table(self) -> str:
+        """Render the per-cell wall-clock timings (``--profile`` output)."""
+        if not self.cell_timings:
+            return "no profiled cells"
+        lines = [
+            f"{'mix':24s} {'variant':16s} {'quanta':>6s} "
+            f"{'wall_s':>8s} {'events':>10s} {'events/s':>10s}"
+        ]
+        for t in self.cell_timings:
+            lines.append(
+                f"{t.mix:24s} {t.variant:16s} {t.quanta:>6d} "
+                f"{t.wall_s:>8.3f} {t.events:>10d} {t.events_per_s:>10,.0f}"
+            )
+        total_wall = sum(t.wall_s for t in self.cell_timings)
+        total_events = sum(t.events for t in self.cell_timings)
+        lines.append(
+            f"{'total':24s} {'':16s} {'':>6s} "
+            f"{total_wall:>8.3f} {total_events:>10d} "
+            f"{total_events / total_wall if total_wall > 0 else 0.0:>10,.0f}"
+        )
+        if self.pool_utilization is not None:
+            lines.append(f"pool-worker utilization: {self.pool_utilization:.0%}")
+        return "\n".join(lines)
+
     def failure_summary(self) -> str:
         return failure_table(self.failures)
 
@@ -407,6 +502,7 @@ class Campaign:
 __all__ = [
     "Campaign",
     "CampaignStore",
+    "CellTiming",
     "PersistentAloneRunCache",
     "mix_from_json",
     "mix_to_json",

@@ -1,0 +1,32 @@
+# lint: skip-file  (fixture: known DOC001 violations; public classes and
+# functions in the documented packages must carry docstrings)
+
+
+class BareSink:
+    def write(self, event):
+        self.last = event
+
+    def __repr__(self):
+        return "BareSink()"
+
+    def _flush(self):
+        pass
+
+
+class Documented:
+    """Has a docstring, but its public method does not."""
+
+    def emit(self, event):
+        return event
+
+
+class _PrivateHelper:
+    def inner(self):
+        pass
+
+
+def mask_of(names):
+    def build(name):
+        return name
+
+    return [build(n) for n in names]

@@ -1,0 +1,33 @@
+"""Fixture: the public API shapes DOC001 accepts.
+
+Every public class and function is documented; private names, dunders,
+members of private classes and nested functions need no docstrings.
+"""
+
+
+class DocumentedSink:
+    """A sink whose public surface is fully documented."""
+
+    def write(self, event):
+        """Record the event."""
+        self.last = event
+
+    def __repr__(self):
+        return "DocumentedSink()"
+
+    def _flush(self):
+        pass
+
+
+class _PrivateHelper:
+    def inner(self):
+        pass
+
+
+def mask_of(names):
+    """Build a mask from category names."""
+
+    def build(name):
+        return name
+
+    return [build(n) for n in names]

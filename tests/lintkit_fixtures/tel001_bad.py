@@ -7,6 +7,7 @@ class ImpatientModel:
     bypasses the telemetry fault injectors and the estimate guards."""
 
     def attach(self, system):
+        """Register the one legal raw access, then hoard raw handles."""
         controller = system.mem.controller
         # Registering the raw counter as a bank external *inside* attach
         # is the one legal access — this lambda must not be flagged.
@@ -19,11 +20,13 @@ class ImpatientModel:
         self._tracker = system.tracker
 
     def estimate_slowdowns(self):
+        """Read raw counters directly — the violation under test."""
         queueing = self._controller.queueing_cycles[0]
         interference = self._accounting.interference_cycles[0]
         demand = self._llc.demand_misses[0]
         return queueing + interference + demand
 
     def reset_quantum(self):
+        """Reset by writing a raw counter — also a violation."""
         # Writes bypass the bank just as badly as reads.
         self._tracker.busy_cycles = 0

@@ -3,7 +3,10 @@ and reads them through its CounterBank accessors everywhere else."""
 
 
 class GuardedModel:
+    """Touches raw counters only in ``attach()``."""
+
     def attach(self, system):
+        """Register raw counters as CounterBank externals."""
         controller = system.mem.controller
         accounting = system.accounting
         self.bank = system.bank
@@ -17,4 +20,5 @@ class GuardedModel:
         )
 
     def estimate_slowdowns(self, core):
+        """Read only through the bank accessors."""
         return self._queueing.delta(core) + self._interference.read(core)

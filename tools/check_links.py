@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (stdlib only; used by the CI docs job).
+
+Scans the given markdown files (or the repo's documentation set by
+default) for inline links and images, and verifies that every *relative*
+target exists on disk. External schemes (http/https/mailto), pure
+anchors and bare autolinks are ignored; a ``#fragment`` suffix on a
+relative target is stripped before the existence check. Link targets
+inside fenced code blocks are ignored.
+
+Exit status: 0 if every relative link resolves, 1 otherwise (each broken
+link is reported as ``file:line: broken link -> target``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/architecture.md",
+    "docs/models.md",
+)
+
+#: inline links/images: [text](target) / ![alt](target); stops at the
+#: first unescaped ')' so titles ("...") are carried into the target and
+#: stripped below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text):
+    """Yield (line_number, target) for every inline link outside fences."""
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, repo_root: Path):
+    """Return a list of (line, target) broken relative links in ``path``."""
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for line, target in iter_links(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        if resolved.startswith("/"):
+            candidate = repo_root / resolved.lstrip("/")
+        else:
+            candidate = path.parent / resolved
+        if not candidate.exists():
+            broken.append((line, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help=f"markdown files to check (default: {', '.join(DEFAULT_FILES)})",
+    )
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    names = args.files or [
+        name for name in DEFAULT_FILES if (repo_root / name).is_file()
+    ]
+    failures = 0
+    checked = 0
+    for name in names:
+        path = Path(name)
+        if not path.is_absolute():
+            path = repo_root / name
+        if not path.is_file():
+            print(f"{name}: no such file", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for line, target in check_file(path, repo_root):
+            print(f"{name}:{line}: broken link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"check_links: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_links: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
