@@ -179,7 +179,9 @@ def merge_results(path: Path, section: str, record: dict, label: str) -> None:
         }
     )
     data.setdefault(section, {})[label] = record
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    from repro.durability.atomic import atomic_write_text
+
+    atomic_write_text(str(path), json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def main(argv=None) -> int:

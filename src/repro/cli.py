@@ -170,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for per-mix fan-out "
                              "(1 = serial; results are identical)")
+    parser.add_argument("--max-retries", type=int, default=0, metavar="N",
+                        help="retry a failed cell up to N times (with "
+                             "backoff and a per-cell circuit breaker; "
+                             "0 = fail immediately)")
+    parser.add_argument("--retry-backoff", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="base backoff before the first retry; doubles "
+                             "per attempt with deterministic jitter")
+    parser.add_argument("--cell-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="give up retrying a cell once it has consumed "
+                             "this much wall-clock time")
     parser.add_argument("--telemetry-faults", type=str, default="",
                         metavar="CLASS[:RATE]",
                         help="inject deterministic telemetry counter faults "
@@ -207,6 +219,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.durability.cli import campaign_main
+
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -214,6 +230,8 @@ def main(argv=None) -> int:
         print(f"{'trace':14s} capture/inspect structured traces "
               "(repro trace show|summarize)")
         print(f"{'profile':14s} stage timers + cProfile on a small mix")
+        print(f"{'campaign':14s} verify/repair/compact checkpoint stores "
+              "(repro campaign verify|repair|compact)")
         return 0
     if args.experiment not in EXPERIMENTS:
         return _unknown_experiment(args.experiment)
@@ -225,6 +243,16 @@ def main(argv=None) -> int:
         if args.campaign_dir
         else None
     )
+    retry_policy = None
+    if args.max_retries > 0 or args.cell_budget is not None:
+        from repro.durability import RetryPolicy
+
+        # --max-retries counts *extra* attempts beyond the first.
+        retry_policy = RetryPolicy(
+            max_attempts=args.max_retries + 1,
+            backoff_s=args.retry_backoff,
+            cell_budget_s=args.cell_budget,
+        )
     campaign = Campaign(
         args.experiment,
         store_dir,
@@ -233,6 +261,7 @@ def main(argv=None) -> int:
         check_invariants=args.check_invariants,
         wall_clock_budget_s=args.wall_clock_budget,
         profile=args.profile,
+        retry_policy=retry_policy,
     )
 
     runner = EXPERIMENTS[args.experiment]
@@ -276,11 +305,15 @@ def main(argv=None) -> int:
     if args.profile and campaign.cell_timings:
         print("\ncell timings:")
         print(campaign.timing_table())
+    if campaign.degraded:
+        print("degraded cells:")
+        print(campaign.degraded_summary())
     if campaign.failures:
         print(campaign.failure_summary())
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(table + "\n")
+        from repro.durability.atomic import atomic_write_text
+
+        atomic_write_text(args.out, table + "\n")
     return 1 if campaign.failures else 0
 
 

@@ -7,8 +7,10 @@ above a grandfathered finding do not resurrect it, while a new identical
 violation elsewhere in the file is still caught.
 
 The checked-in repository baselines **only DOC001** findings (docstring
-gaps that predate the rule); every simulator-invariant rule holds with no
-grandfathered findings, so a new violation fails CI immediately. Each
+gaps that predate the rule) plus the one **IO001** site in the fault
+injectors (the FlakyModel sentinel: scratch test state, not campaign
+state); every simulator-invariant rule holds with no grandfathered
+findings, so a new violation fails CI immediately. Each
 entry records the rule and path next to the fingerprint so the
 grandfathered set stays reviewable; bare-string entries (the original
 format) still load.

@@ -20,6 +20,10 @@ TEL001    slowdown models read simulator counters only through their
 DOC001    public classes/functions in the observability layer and the
           model zoo carry docstrings (the documentation suite links
           into both; an undocumented symbol is a broken promise)
+IO001     persistence layers never open files for writing bare: every
+          durable write routes through ``repro.durability.atomic``
+          (append_line / atomic_write_text / durable_stream) so a
+          crash can tear at most an uncommitted trailing line
 ========  ============================================================
 """
 
@@ -909,6 +913,99 @@ class Doc001MissingDocstring(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+
+#: Packages whose files persist campaign / trace state across crashes.
+PERSISTENCE_PACKAGES: Tuple[str, ...] = (
+    "repro.durability",
+    "repro.obs",
+    "repro.parallel",
+    "repro.resilience",
+)
+
+#: The atomic-write helper itself must call ``open()`` — it *is* the
+#: sanctioned wrapper the rule directs everyone else to.
+_IO001_EXEMPT_MODULES = frozenset({"repro.durability.atomic"})
+
+#: ``open()`` mode characters that make the handle writable.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of a writable ``open()`` call, else None.
+
+    Only string-literal modes are decidable statically; a computed mode
+    is ignored rather than guessed at. The default mode is ``"r"``, so a
+    call with no mode argument is read-only and clean.
+    """
+    func = node.func
+    if not (isinstance(func, ast.Name) and func.id == "open"):
+        return None
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return None
+    if _WRITE_MODE_CHARS & set(mode.value):
+        return mode.value
+    return None
+
+
+@register
+class Io001BarePersistenceWrite(Rule):
+    """Bare writable ``open()`` in a persistence layer.
+
+    The durability contract (DESIGN.md, "Durability & supervision") is
+    that campaign state survives ``kill -9`` with at most a torn,
+    uncommitted trailing line. A bare ``open(path, "w")`` breaks it
+    twice: truncate-then-write destroys the old contents before the new
+    ones are durable, and without an fsync the "written" bytes may still
+    be lost afterwards. Every durable write must route through
+    :mod:`repro.durability.atomic` — ``append_line`` for checksummed
+    appends, ``atomic_write_text`` for whole-file snapshots,
+    ``durable_stream`` for bulk streams — which the chaos harness can
+    also fault-inject. ``Path.write_text()`` is the same truncating
+    write in disguise and is flagged too.
+    """
+
+    code = "IO001"
+    summary = "bare write-mode open() in a persistence layer"
+    packages = PERSISTENCE_PACKAGES
+
+    def applies_to(self, module: str) -> bool:
+        if module in _IO001_EXEMPT_MODULES:
+            return False
+        return super().applies_to(module)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = _open_write_mode(node)
+            if mode is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"bare open(..., {mode!r}) in a persistence layer is "
+                    "not crash-consistent; route the write through "
+                    "repro.durability.atomic (append_line / "
+                    "atomic_write_text / durable_stream)",
+                )
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "write_text":
+                yield self.finding(
+                    ctx,
+                    node,
+                    ".write_text() truncates in place with no fsync; use "
+                    "repro.durability.atomic.atomic_write_text so the old "
+                    "contents survive a crash mid-write",
+                )
+
+
 __all__ = [
     "Acc001HitsMissesConservation",
     "Cyc001TrueDivisionIntoCycles",
@@ -917,6 +1014,8 @@ __all__ = [
     "Det001WallClockAndGlobalRng",
     "Det002SetIteration",
     "HOT_PACKAGES",
+    "Io001BarePersistenceWrite",
+    "PERSISTENCE_PACKAGES",
     "Pkl001UnpicklableParallelPayload",
     "RAW_COUNTER_ATTRS",
     "Tel001RawCounterRead",

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Deque, List, Optional, TextIO
+from typing import Deque, List, Optional
 
+from repro.durability.atomic import DurableStream
+from repro.durability.store import read_log
 from repro.obs.events import TraceEvent
 
 
@@ -71,40 +73,47 @@ class RingBufferSink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Writes each event as one JSON line to ``path``."""
+    """Writes each event as one JSON line to ``path``.
+
+    Backed by a :class:`~repro.durability.atomic.DurableStream`: writes
+    buffer normally (a trace emits far too many events to fsync each
+    one), and close pays a single flush+fsync, so a completed trace
+    survives a crash-after-close intact. A crash mid-trace leaves at
+    most a torn trailing line, which :func:`read_jsonl` skips.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._handle: Optional[TextIO] = open(path, "w")
+        self._stream: Optional[DurableStream] = DurableStream(path, "w")
 
     def write(self, event: TraceEvent) -> None:
         """Serialise ``event`` and append it to the file."""
-        handle = self._handle
-        if handle is None:
+        stream = self._stream
+        if stream is None:
             raise ValueError(f"JsonlSink({self.path!r}) is closed")
-        handle.write(json.dumps(event.to_json()) + "\n")
+        stream.write(json.dumps(event.to_json()) + "\n")
 
     def close(self) -> None:
-        """Flush and close the file (idempotent)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Flush, fsync and close the file (idempotent)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
 
 
 def read_jsonl(path: str) -> List[TraceEvent]:
-    """Load the events a :class:`JsonlSink` wrote, skipping torn lines."""
-    events: List[TraceEvent] = []
-    with open(path, "r") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue  # torn trailing line from an interrupted run
-            events.append(TraceEvent.from_json(record))
-    return events
+    """Load the events a :class:`JsonlSink` wrote, skipping torn lines.
+
+    Delegates torn-line recovery to the checksummed-store reader of
+    :mod:`repro.durability.store` (trace files are plain v1 JSONL — the
+    reader's legacy path — so damaged lines are skipped, not
+    quarantined).
+    """
+    payloads, _report = read_log(path)
+    return [
+        TraceEvent.from_json(record)
+        for record in payloads
+        if isinstance(record, dict)
+    ]
 
 
 __all__ = [

@@ -25,7 +25,21 @@ a replayable :class:`~repro.resilience.faults.RunFailure`; with
 :class:`WorkerRunError` re-raises it in the parent with the worker's
 traceback. A worker that dies outright (the pool breaks) is recorded as a
 ``WorkerCrash`` failure, the pool is rebuilt, and the surviving cells are
-resubmitted — the crashed cell is never retried.
+resubmitted.
+
+Failed cells are then *retried* under the campaign's
+:class:`~repro.durability.retry.RetryPolicy`: each fan-out round is
+followed by a round of the cells whose failures the supervisor still
+considers worth attempting (attempts left, circuit breaker closed,
+per-cell wall-clock budget not exhausted), with deterministic backoff
+between rounds. A transient ``WorkerCrash`` typically succeeds on the
+next round; a deterministic failure repeats, trips the breaker, and is
+recorded (failure + :class:`~repro.durability.retry.DegradedCell`)
+without burning the remaining attempt budget. The default policy
+(``max_attempts=1``) runs exactly one round — the pre-supervision
+behaviour. Retried cells commit in a later round than their neighbours,
+so *store append order* can differ from a serial sweep; the store is
+keyed last-record-wins, and returned results stay bit-identical.
 
 Model/scheduler recipes must be **module-level callables** (pickled by
 reference): ``model_builder(*model_builder_args)`` must return the
@@ -36,6 +50,7 @@ reference): ``model_builder(*model_builder_args)`` must return the
 from __future__ import annotations
 
 import dataclasses
+import time
 import traceback as _traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -247,13 +262,29 @@ def _failure_from_payload(
     )
 
 
+def _cell_fingerprint(campaign: "Campaign", cell: CellSpec) -> str:
+    """The cell-identity fingerprint the circuit breaker keys on.
+
+    Matches :meth:`RunFailure.fingerprint` — the failing *cell*, not the
+    failing error — so parent-side success bookkeeping and worker-side
+    failure records land on the same breaker entry.
+    """
+    return _failure_from_payload(
+        campaign, cell, {"error_type": "", "message": ""}
+    ).fingerprint()
+
+
 def _record_failure(
-    campaign: "Campaign", cell: CellSpec, payload: Dict[str, Any]
+    campaign: "Campaign",
+    cell: CellSpec,
+    payload: Dict[str, Any],
+    *,
+    attempts: int = 1,
+    elapsed_s: float = 0.0,
 ) -> None:
+    """Final give-up on a cell: failure record, degradation, maybe raise."""
     failure = _failure_from_payload(campaign, cell, payload)
-    campaign.failures.append(failure)
-    if campaign.store is not None:
-        campaign.store.append_failure(failure)
+    campaign.record_give_up(failure, attempts, elapsed_s)
     if not campaign.keep_going:
         raise WorkerRunError(failure)
 
@@ -364,42 +395,80 @@ def run_cells(
             _record_failure(campaign, cells[i], profile_errors[bad])
         else:
             runnable.append(i)
-    tasks = [
-        _CellTask(
+    def _task_for(i: int) -> _CellTask:
+        return _CellTask(
             spec=cells[i],
             profiles=tuple((key, have[key]) for key in cell_keys[i]),
             check_invariants=campaign.check_invariants,
             wall_clock_budget_s=campaign.wall_clock_budget_s,
             profile=campaign.profile,
         )
-        for i in runnable
-    ]
+
     fanout_start = perf_counter() if campaign.profile else 0.0
-    outcomes = _run_tasks(_cell_worker, tasks, workers)
-    fanout_elapsed = perf_counter() - fanout_start if campaign.profile else 0.0
     busy_s = 0.0
-    for i, (kind, value) in zip(runnable, outcomes):
-        if kind == "crash":
-            _record_failure(
-                campaign, cells[i],
-                {"error_type": "WorkerCrash", "message": value},
+    fanout_elapsed = 0.0
+    attempts: Dict[int, int] = {i: 0 for i in runnable}
+    dispatched: Dict[int, float] = {}
+    active = list(runnable)
+    while active:
+        now = time.monotonic()
+        for i in active:
+            dispatched.setdefault(i, now)
+        outcomes = _run_tasks(
+            _cell_worker, [_task_for(i) for i in active], workers
+        )
+        next_round: List[int] = []
+        backoff = 0.0
+        for i, (kind, value) in zip(active, outcomes):
+            attempts[i] += 1
+            if kind == "crash":
+                payload: Dict[str, Any] = {
+                    "error_type": "WorkerCrash", "message": value,
+                }
+            elif value["ok"]:
+                result = value["result"]
+                if campaign.store is not None:
+                    campaign.store.put_run(keys[i], result_to_json(result))
+                campaign.computed += 1
+                results[i] = result
+                if attempts[i] > 1:
+                    campaign.note_retry_success(
+                        _cell_fingerprint(campaign, cells[i])
+                    )
+                if "wall_s" in value:
+                    busy_s += value["wall_s"]
+                    campaign.record_timing(
+                        cells[i].mix.name, cells[i].variant, cells[i].quanta,
+                        value["wall_s"], value.get("events", 0),
+                    )
+                if campaign.store is not None and value.get("metrics"):
+                    campaign.store.put_metrics(keys[i], value["metrics"])
+                continue
+            else:
+                payload = value
+            failure = _failure_from_payload(campaign, cells[i], payload)
+            fingerprint = failure.fingerprint()
+            campaign.breaker.record_failure(
+                fingerprint, failure.error_type, failure.message
             )
-        elif value["ok"]:
-            result = value["result"]
-            if campaign.store is not None:
-                campaign.store.put_run(keys[i], result_to_json(result))
-            campaign.computed += 1
-            results[i] = result
-            if "wall_s" in value:
-                busy_s += value["wall_s"]
-                campaign.record_timing(
-                    cells[i].mix.name, cells[i].variant, cells[i].quanta,
-                    value["wall_s"], value.get("events", 0),
+            elapsed = time.monotonic() - dispatched[i]
+            if campaign.may_retry(fingerprint, attempts[i], elapsed):
+                campaign.note_retry(fingerprint)
+                backoff = max(
+                    backoff,
+                    campaign.retry_policy.delay_s(attempts[i], fingerprint),
                 )
-            if campaign.store is not None and value.get("metrics"):
-                campaign.store.put_metrics(keys[i], value["metrics"])
-        else:
-            _record_failure(campaign, cells[i], value)
+                next_round.append(i)
+            else:
+                _record_failure(
+                    campaign, cells[i], payload,
+                    attempts=attempts[i], elapsed_s=elapsed,
+                )
+        if next_round and backoff > 0:
+            time.sleep(backoff)
+        active = next_round
+    if campaign.profile:
+        fanout_elapsed = perf_counter() - fanout_start
     if campaign.profile and fanout_elapsed > 0 and busy_s > 0:
         # Busy fraction of the pool during the cell fan-out: 1.0 means
         # every worker simulated for the whole phase.

@@ -14,17 +14,28 @@ Store layout::
         runs.jsonl      completed per-mix results, one JSON object per line
         alone.jsonl     memoised alone-run profiles
         failures.jsonl  captured RunFailure records (replayable)
+        metrics.jsonl   per-quantum metrics snapshots (``--profile``)
+        degraded.jsonl  DegradedCell records (supervisor gave up)
 
-Appending one line per completed run (with a flush) makes the store robust
-to being killed mid-write: a torn trailing line is skipped on load and the
-corresponding mix is simply recomputed.
+All files use the checksummed store format v2 of
+:mod:`repro.durability.store`: a version header plus per-record sha256
+and monotonic sequence numbers, appended atomically (single write →
+flush → fsync). A crash tears at most the trailing line, which load
+recovers by skipping; checksum-mismatched records are skipped too and
+``repro campaign verify|repair`` reports/quarantines them. Legacy (v1)
+plain-JSONL stores load transparently and upgrade on repair.
+
+Retry supervision (``retry_policy``): failed cells are re-attempted
+under a :class:`~repro.durability.retry.RetryPolicy` with a per-cell
+circuit breaker; cells that exhaust their attempts/budget leave a
+structured :class:`~repro.durability.retry.DegradedCell` record.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -32,6 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.telemetry.spec import TelemetrySpec
 
 from repro.config import SystemConfig
+from repro.durability.retry import CircuitBreaker, DegradedCell, RetryPolicy
+from repro.durability.store import ChecksummedLog, read_log
 from repro.harness.runner import (
     AloneProfile,
     AloneRunCache,
@@ -53,27 +66,14 @@ from repro.workloads.synthetic import AppSpec
 
 
 def _read_jsonl(path: str) -> List[dict]:
-    """Load a JSONL file, skipping corrupt (torn) lines."""
-    records: List[dict] = []
-    if not os.path.exists(path):
-        return records
-    with open(path, "r") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except ValueError:
-                continue  # torn write from an interrupted campaign
-    return records
+    """Load a store file's intact records (torn/corrupt lines skipped).
 
-
-def _append_jsonl(path: str, record: dict) -> None:
-    with open(path, "a") as handle:
-        handle.write(json.dumps(record) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+    Delegates to the checksummed reader of :mod:`repro.durability.store`,
+    which also accepts legacy (v1) plain-JSONL lines, so stores written
+    before format v2 keep resuming.
+    """
+    payloads, _report = read_log(path)
+    return [p for p in payloads if isinstance(p, dict)]
 
 
 def mix_to_json(mix: WorkloadMix) -> dict:
@@ -147,7 +147,7 @@ class CellTiming:
 
 
 class CampaignStore:
-    """Append-only JSONL store for one experiment's campaign state."""
+    """Append-only checksummed JSONL store for one campaign's state."""
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -156,6 +156,10 @@ class CampaignStore:
         self._alone_path = os.path.join(root, "alone.jsonl")
         self._failures_path = os.path.join(root, "failures.jsonl")
         self._metrics_path = os.path.join(root, "metrics.jsonl")
+        self._degraded_path = os.path.join(root, "degraded.jsonl")
+        # One checksummed appender per file: tracks the next sequence
+        # number and writes the v2 header on first append.
+        self._logs: Dict[str, ChecksummedLog] = {}
         # Last record wins so a recomputed key supersedes stale entries.
         self._runs: Dict[str, dict] = {
             r["key"]: r["result"]
@@ -168,13 +172,20 @@ class CampaignStore:
             if "key" in r and "instructions" in r
         }
 
+    def _append(self, path: str, record: dict) -> None:
+        log = self._logs.get(path)
+        if log is None:
+            log = ChecksummedLog(path)
+            self._logs[path] = log
+        log.append(record)
+
     # -- per-mix results ------------------------------------------------
     def get_run(self, key: str) -> Optional[dict]:
         return self._runs.get(key)
 
     def put_run(self, key: str, result: dict) -> None:
         self._runs[key] = result
-        _append_jsonl(self._runs_path, {"key": key, "result": result})
+        self._append(self._runs_path, {"key": key, "result": result})
 
     def __len__(self) -> int:
         return len(self._runs)
@@ -193,13 +204,13 @@ class CampaignStore:
             "instructions": profile.instructions,
         }
         self._alone[key] = record
-        _append_jsonl(self._alone_path, record)
+        self._append(self._alone_path, record)
 
     # -- metrics snapshots ----------------------------------------------
     def put_metrics(self, key: str, snapshots: List[dict]) -> None:
         """Persist a run's per-quantum metrics snapshots next to its
         checkpoint (same ``key`` as :meth:`put_run`)."""
-        _append_jsonl(self._metrics_path, {"key": key, "snapshots": snapshots})
+        self._append(self._metrics_path, {"key": key, "snapshots": snapshots})
 
     def get_metrics(self, key: str) -> Optional[List[dict]]:
         """The last metrics snapshots persisted under ``key``, if any."""
@@ -211,10 +222,22 @@ class CampaignStore:
 
     # -- failures -------------------------------------------------------
     def append_failure(self, failure: RunFailure) -> None:
-        _append_jsonl(self._failures_path, failure.to_json())
+        self._append(self._failures_path, failure.to_json())
 
     def load_failures(self) -> List[RunFailure]:
         return [RunFailure.from_json(r) for r in _read_jsonl(self._failures_path)]
+
+    # -- degraded cells -------------------------------------------------
+    def append_degraded(self, cell: DegradedCell) -> None:
+        """Persist one supervisor give-up record."""
+        self._append(self._degraded_path, cell.to_json())
+
+    def load_degraded(self) -> List[DegradedCell]:
+        """Every DegradedCell recorded for this campaign."""
+        return [
+            DegradedCell.from_json(r)
+            for r in _read_jsonl(self._degraded_path)
+        ]
 
 
 class PersistentAloneRunCache(AloneRunCache):
@@ -292,6 +315,10 @@ class Campaign:
     * threads ``check_invariants`` / ``wall_clock_budget_s`` into every
       run it launches;
     * persists each freshly computed result before moving on;
+    * retries failed runs under ``retry_policy`` (default: one attempt,
+      i.e. no retries) with a per-cell circuit breaker — see
+      :mod:`repro.durability.retry`; cells the supervisor gives up on
+      leave a :class:`DegradedCell` record and the final failure;
     * with ``profile`` set, times every computed cell (wall seconds,
       engine events — see :meth:`timing_table`) and snapshots a
       per-quantum :class:`~repro.obs.metrics.MetricsRegistry` into the
@@ -312,6 +339,7 @@ class Campaign:
         check_invariants: bool = False,
         wall_clock_budget_s: Optional[float] = None,
         profile: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.experiment = experiment
         self.store = CampaignStore(store_dir) if store_dir else None
@@ -320,9 +348,19 @@ class Campaign:
         self.check_invariants = check_invariants
         self.wall_clock_budget_s = wall_clock_budget_s
         self.profile = profile
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = CircuitBreaker()
         self.failures: List[RunFailure] = []
+        self.degraded: List[DegradedCell] = []
         self.computed = 0
         self.resumed = 0
+        #: extra attempts spent on retries (0 when nothing was retried).
+        self.retry_attempts = 0
+        #: cells that failed at least once and then succeeded on retry.
+        self.retried_cells = 0
+        #: supervision counters (retry_attempts, retried_cells,
+        #: degraded_cells), snapshotted into metrics.jsonl on change.
+        self.supervisor_metrics = MetricsRegistry()
         self.cell_timings: List[CellTiming] = []
         #: busy-fraction of the worker pool during the last parallel
         #: fan-out (set by :func:`repro.parallel.run_cells` when profiling).
@@ -407,33 +445,53 @@ class Campaign:
             if "run_metrics" not in run_kwargs:
                 run_metrics = MetricsRegistry()
                 run_kwargs["run_metrics"] = run_metrics
-        try:
-            result = run_workload(
-                mix,
-                config,
-                quanta=quanta,
-                check_invariants=self.check_invariants,
-                wall_clock_budget_s=self.wall_clock_budget_s,
-                **run_kwargs,
-            )
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            failure = RunFailure.from_exception(
-                exc,
-                experiment=self.experiment,
-                variant=variant,
-                mix=mix,
-                config=config,
-                quanta=quanta,
-                telemetry=telemetry.to_json() if telemetry is not None else None,
-            )
-            self.failures.append(failure)
-            if self.store is not None:
-                self.store.append_failure(failure)
-            if not self.keep_going:
+        policy = self.retry_policy
+        attempts = 0
+        last_fingerprint = ""
+        started = time.monotonic()
+        while True:
+            attempts += 1
+            try:
+                result = run_workload(
+                    mix,
+                    config,
+                    quanta=quanta,
+                    check_invariants=self.check_invariants,
+                    wall_clock_budget_s=self.wall_clock_budget_s,
+                    **run_kwargs,
+                )
+            except KeyboardInterrupt:
                 raise
-            return None
+            except Exception as exc:
+                failure = RunFailure.from_exception(
+                    exc,
+                    experiment=self.experiment,
+                    variant=variant,
+                    mix=mix,
+                    config=config,
+                    quanta=quanta,
+                    telemetry=(
+                        telemetry.to_json() if telemetry is not None else None
+                    ),
+                )
+                fingerprint = last_fingerprint = failure.fingerprint()
+                self.breaker.record_failure(
+                    fingerprint, failure.error_type, failure.message
+                )
+                elapsed = time.monotonic() - started
+                if self.may_retry(fingerprint, attempts, elapsed):
+                    self.note_retry(fingerprint)
+                    delay = policy.delay_s(attempts, fingerprint)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self.record_give_up(failure, attempts, elapsed)
+                if not self.keep_going:
+                    raise
+                return None
+            break  # attempt succeeded
+        if attempts > 1:
+            self.note_retry_success(last_fingerprint)
         if self.store is not None:
             self.store.put_run(key, result_to_json(result))
         self.computed += 1
@@ -446,6 +504,65 @@ class Campaign:
         if run_metrics is not None and self.store is not None:
             self.store.put_metrics(key, run_metrics.snapshots)
         return result
+
+    # -- retry supervision (shared by run_mix and repro.parallel) -------
+    def may_retry(
+        self, cell_fingerprint: str, attempts: int, elapsed_s: float
+    ) -> bool:
+        """Whether a failed cell gets another attempt: attempts left,
+        circuit closed, and wall-clock budget not exhausted."""
+        return (
+            attempts < self.retry_policy.max_attempts
+            and self.breaker.allows(cell_fingerprint)
+            and self.retry_policy.within_budget(elapsed_s)
+        )
+
+    def note_retry(self, cell_fingerprint: str) -> None:
+        """Account one retry attempt (metrics + counters)."""
+        self.retry_attempts += 1
+        self.supervisor_metrics.counter("supervisor.retry_attempts").inc()
+        self._snap_supervisor()
+
+    def note_retry_success(self, cell_fingerprint: str) -> None:
+        """A cell that had failed succeeded on retry."""
+        self.retried_cells += 1
+        self.breaker.record_success(cell_fingerprint)
+        self.supervisor_metrics.counter("supervisor.retried_cells").inc()
+        self._snap_supervisor()
+
+    def record_give_up(
+        self, failure: RunFailure, attempts: int, elapsed_s: float
+    ) -> None:
+        """Record a cell's final failure (and, when the policy could
+        have retried, the structured :class:`DegradedCell` outcome)."""
+        self.failures.append(failure)
+        if self.store is not None:
+            self.store.append_failure(failure)
+        if not self.retry_policy.supervised:
+            return
+        fingerprint = failure.fingerprint()
+        if not self.breaker.allows(fingerprint):
+            reason = "circuit_open"
+        elif not self.retry_policy.within_budget(elapsed_s):
+            reason = "budget_exhausted"
+        else:
+            reason = "attempts_exhausted"
+        cell = DegradedCell.from_failure(
+            failure, reason=reason, attempts=attempts, elapsed_s=elapsed_s
+        )
+        self.degraded.append(cell)
+        if self.store is not None:
+            self.store.append_degraded(cell)
+        self.supervisor_metrics.counter("supervisor.degraded_cells").inc()
+        self._snap_supervisor()
+
+    def _snap_supervisor(self) -> None:
+        """Snapshot supervision counters into the store's metrics.jsonl
+        (last record wins under the ``__supervisor__`` key)."""
+        registry = self.supervisor_metrics
+        registry.snap(len(registry.snapshots))
+        if self.store is not None:
+            self.store.put_metrics("__supervisor__", registry.snapshots[-1:])
 
     # ------------------------------------------------------------------
     def record_timing(
@@ -486,10 +603,25 @@ class Campaign:
     def failure_summary(self) -> str:
         return failure_table(self.failures)
 
+    def degraded_summary(self) -> str:
+        """One line per cell the supervisor gave up on."""
+        if not self.degraded:
+            return "no degraded cells"
+        return "\n".join(cell.describe() for cell in self.degraded)
+
     def summary(self) -> str:
         parts = [f"{self.computed} computed"]
         if self.resumed:
             parts.append(f"{self.resumed} resumed")
+        if self.retried_cells:
+            parts.append(
+                f"{self.retried_cells} recovered by retry "
+                f"({self.retry_attempts} retry attempts)"
+            )
+        elif self.retry_attempts:
+            parts.append(f"{self.retry_attempts} retry attempts")
+        if self.degraded:
+            parts.append(f"{len(self.degraded)} DEGRADED")
         if self.failures:
             parts.append(f"{len(self.failures)} FAILED")
         line = f"campaign {self.experiment}: " + ", ".join(parts)

@@ -6,6 +6,8 @@ guards actually catch the failure shapes they claim to:
 
 * :class:`ExplodingModel` — a slowdown model that raises at a chosen
   quantum boundary (a NaN-producing or buggy model mid-campaign);
+* :class:`FlakyModel` — a model that fails exactly once (sentinel-file
+  gated), the transient shape supervised retries recover from;
 * :class:`CorruptingTrace` — a trace that yields a corrupt record, or
   raises, after a chosen number of records (trace decode errors);
 * :class:`EngineStallInjector` — stops the event loop at a chosen cycle,
@@ -90,6 +92,46 @@ def exploding_model_factories(explode_at: int = 0):
 def process_killer_factories():
     """A model that hard-kills its process at the first quantum boundary."""
     return {"killer": lambda: ProcessKillerModel()}
+
+
+def flaky_model_factories(sentinel: str, mode: str = "raise"):
+    """A model that fails once (recording the fact in ``sentinel``) and
+    then behaves — the transient-failure shape retries recover from."""
+    return {"flaky": lambda: FlakyModel(sentinel, mode)}
+
+
+class FlakyModel(SlowdownModel):
+    """A model whose fault is *transient*: it fails until a sentinel file
+    exists, creating the sentinel on the way down, so the next attempt of
+    the same cell succeeds. ``mode="raise"`` raises
+    :class:`InjectedFault`; ``mode="kill"`` hard-kills the process (the
+    retryable ``WorkerCrash`` shape). Drives the supervised-retry paths."""
+
+    name = "flaky"
+
+    def __init__(
+        self, sentinel: str, mode: str = "raise", estimate: float = 1.0
+    ) -> None:
+        if mode not in ("raise", "kill"):
+            raise ValueError("mode must be 'raise' or 'kill'")
+        super().__init__()
+        self.sentinel = sentinel
+        self.mode = mode
+        self.estimate = estimate
+
+    def estimate_slowdowns(self) -> List[float]:
+        if not os.path.exists(self.sentinel):
+            # Grandfathered in lint-baseline.json: the sentinel is scratch
+            # test state, not campaign state — losing it to a crash only
+            # makes the fault fire once more, which is the point.
+            with open(self.sentinel, "w") as handle:
+                handle.write("failed once\n")
+            if self.mode == "kill":
+                os._exit(13)
+            raise InjectedFault(
+                f"injected transient fault (sentinel {self.sentinel})"
+            )
+        return [self.estimate] * self.num_cores
 
 
 class CorruptingTrace(Iterator[TraceRecord]):
@@ -215,11 +257,13 @@ __all__ = [
     "CounterCorruptionInjector",
     "EngineStallInjector",
     "ExplodingModel",
+    "FlakyModel",
     "InjectedFault",
     "ProcessKillerModel",
     "SpinInjector",
     "TraceFaultMix",
     "benign_model_factories",
     "exploding_model_factories",
+    "flaky_model_factories",
     "process_killer_factories",
 ]

@@ -1,0 +1,64 @@
+"""Subprocess driver for the chaos kill/resume tests.
+
+Runs a tiny but real campaign (two 2-core mixes, one quantum each)
+against a store directory and prints one line of canonical JSON — the
+full serialized results — to stdout. The parent test harness runs this
+driver three ways:
+
+* clean, serial: the baseline digest;
+* under ``REPRO_CHAOS`` with a kill plan (optionally ``--workers 2`` so
+  the kill lands mid-parallel-campaign): the process dies by SIGKILL at
+  the planned crash point, leaving a possibly-torn store behind;
+* again on the same store with ``--resume``: must exit 0 and print a
+  digest bit-identical to the baseline.
+
+Determinism end to end is the point: every digest printed by this
+driver for the same arguments must be byte-equal, no matter how many
+times the campaign crashed and resumed in between.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.config import scaled_config
+from repro.parallel import CellSpec
+from repro.resilience.campaign import Campaign, result_to_json
+from repro.workloads.mixes import make_mix
+
+
+def build_mixes():
+    return [
+        make_mix(["mcf", "bzip2"], seed=11),
+        make_mix(["ft", "libquantum"], seed=12),
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("store", help="campaign store directory")
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--quanta", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    config = scaled_config().with_quantum(50_000, 5_000)
+    mixes = build_mixes()
+    campaign = Campaign("chaos_drill", args.store, resume=args.resume)
+    if args.workers > 1:
+        cells = [
+            CellSpec(mix=mix, config=config, quanta=args.quanta)
+            for mix in mixes
+        ]
+        results = campaign.run_cells(cells, workers=args.workers)
+    else:
+        results = [
+            campaign.run_mix(mix, config, quanta=args.quanta) for mix in mixes
+        ]
+    digest = [result_to_json(result) for result in results]
+    print(json.dumps(digest, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

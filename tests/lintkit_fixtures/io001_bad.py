@@ -1,0 +1,30 @@
+# lint: skip-file  (fixture: known IO001 violations; persistence layers
+# must route durable writes through repro.durability.atomic)
+
+import json
+from pathlib import Path
+
+
+def checkpoint_naive(path, record):
+    # Truncate-then-write: the old checkpoint is gone before the new one
+    # is durable.
+    with open(path, "w") as handle:
+        handle.write(json.dumps(record) + "\n")
+
+
+def append_naive(path, record):
+    # Bare append, no fsync: a crash can lose the "written" line.
+    with open(path, mode="a") as handle:
+        handle.write(json.dumps(record) + "\n")
+
+
+def patch_in_place(path, offset, data):
+    # "r+" is writable too, and in-place patching tears worst of all.
+    with open(path, "r+") as handle:
+        handle.seek(offset)
+        handle.write(data)
+
+
+def snapshot_with_pathlib(path, text):
+    # Path.write_text is the same truncating write in disguise.
+    Path(path).write_text(text)

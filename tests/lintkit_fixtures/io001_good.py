@@ -1,0 +1,38 @@
+"""Fixture: persistence code that routes every durable write through the
+atomic helpers and only ever ``open()``\\ s files to read them back."""
+
+import json
+
+from repro.durability.atomic import append_line, atomic_write_text
+from repro.durability.atomic import durable_stream
+
+
+def checkpoint(path, record):
+    """Whole-file snapshot: tmp + fsync + rename."""
+    atomic_write_text(path, json.dumps(record) + "\n")
+
+
+def append(path, record):
+    """Checksummed append: single write + fsync."""
+    append_line(path, json.dumps(record) + "\n")
+
+
+def bulk_trace(path, records):
+    """Bulk stream: buffered writes, one fsync at close."""
+    stream = durable_stream(path, "w")
+    try:
+        for record in records:
+            stream.write(json.dumps(record) + "\n")
+    finally:
+        stream.close()
+
+
+def load(path):
+    """Read-mode opens are fine — the rule only gates writes."""
+    with open(path) as handle:
+        lines = handle.readlines()
+    with open(path, "r") as handle:
+        text = handle.read()
+    with open(path, mode="rb") as handle:
+        raw = handle.read()
+    return lines, text, raw

@@ -1,0 +1,151 @@
+"""End-to-end chaos drills: a real campaign subprocess is SIGKILLed at
+every named crash point (and fed injected IO faults), then resumed —
+and the resumed results must be bit-identical to an uninterrupted
+serial run.
+
+This is the acceptance test of the durability layer: the matrix covers
+(crash point x store file), the kills are real ``kill -9``s delivered by
+the process to itself mid-write (no Python cleanup runs), and the
+baseline digest comes from a separate pristine store.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DRIVER = Path(__file__).resolve().parent / "chaos_driver.py"
+
+
+def run_driver(store, *, chaos="", resume=False, workers=1):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_CHAOS", None)
+    if chaos:
+        env["REPRO_CHAOS"] = chaos
+    cmd = [sys.executable, str(DRIVER), str(store)]
+    if resume:
+        cmd.append("--resume")
+    if workers > 1:
+        cmd.extend(["--workers", str(workers)])
+    return subprocess.run(
+        cmd, env=env, cwd=REPO_ROOT, capture_output=True, text=True
+    )
+
+
+def run_repro(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_CHAOS", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Digest of an uninterrupted serial run on a pristine store."""
+    store = tmp_path_factory.mktemp("pristine")
+    proc = run_driver(store)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip().splitlines()[-1]
+
+
+#: (crash point x store file): every append-path crash point against
+#: both campaign store files. mid_record uses #2 so the torn line is a
+#: record (hit #1 is the store header), i.e. the worst realistic tear.
+KILL_SPECS = [
+    "kill:before_append@runs.jsonl#1",
+    "kill:mid_record@runs.jsonl#2",
+    "kill:after_append@runs.jsonl#1",
+    "kill:before_append@alone.jsonl#1",
+    "kill:mid_record@alone.jsonl#2",
+    "kill:after_append@alone.jsonl#1",
+]
+
+
+@pytest.mark.parametrize("spec", KILL_SPECS)
+def test_resume_after_sigkill_is_bit_identical(tmp_path, baseline, spec):
+    store = tmp_path / "store"
+    killed = run_driver(store, chaos=spec, workers=2)
+    assert killed.returncode == -signal.SIGKILL, (
+        f"{spec}: expected SIGKILL, got rc={killed.returncode}\n"
+        f"{killed.stdout}{killed.stderr}"
+    )
+    resumed = run_driver(store, resume=True, workers=2)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout.strip().splitlines()[-1] == baseline
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "io:enospc@runs.jsonl:1.0",
+        "io:partial_write@runs.jsonl:1.0",
+    ],
+)
+def test_resume_after_io_fault_is_bit_identical(tmp_path, baseline, spec):
+    store = tmp_path / "store"
+    faulted = run_driver(store, chaos=spec)
+    # The injected OSError aborts the campaign (no keep_going) — a
+    # Python death, not a SIGKILL.
+    assert faulted.returncode == 1, faulted.stdout + faulted.stderr
+    assert "injected" in faulted.stderr
+    resumed = run_driver(store, resume=True)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout.strip().splitlines()[-1] == baseline
+
+
+def test_verify_repair_cycle_after_torn_write(tmp_path, baseline):
+    store = tmp_path / "store"
+    killed = run_driver(store, chaos="kill:mid_record@runs.jsonl#2")
+    assert killed.returncode == -signal.SIGKILL
+
+    verify = run_repro("campaign", "verify", str(store))
+    assert verify.returncode == 1, verify.stdout + verify.stderr
+    assert "DAMAGED" in verify.stdout
+
+    repair = run_repro("campaign", "repair", str(store))
+    assert repair.returncode == 0, repair.stdout + repair.stderr
+
+    verify_again = run_repro("campaign", "verify", str(store))
+    assert verify_again.returncode == 0, verify_again.stdout
+    assert "intact" in verify_again.stdout
+
+    # The repaired store still resumes to the bit-identical baseline.
+    resumed = run_driver(store, resume=True)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout.strip().splitlines()[-1] == baseline
+
+
+def test_compact_drops_superseded_checkpoints(tmp_path, baseline):
+    store = tmp_path / "store"
+    # Two full runs without --resume: every cell is recomputed and
+    # re-appended, so each key appears twice in runs.jsonl.
+    assert run_driver(store).returncode == 0
+    assert run_driver(store).returncode == 0
+
+    compact = run_repro("campaign", "compact", str(store))
+    assert compact.returncode == 0, compact.stdout + compact.stderr
+    assert "stale dropped" in compact.stdout
+
+    runs = json.loads(
+        "["
+        + ",".join((store / "runs.jsonl").read_text().strip().splitlines())
+        + "]"
+    )
+    keys = [r["payload"]["key"] for r in runs if "payload" in r]
+    assert len(keys) == len(set(keys)) == 2
+
+    resumed = run_driver(store, resume=True)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout.strip().splitlines()[-1] == baseline

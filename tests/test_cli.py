@@ -75,3 +75,34 @@ def test_fig11_experiment_runs(capsys, tmp_path):
     assert main(["fig11", "--quanta", "1",
                  "--campaign-dir", str(tmp_path / "c")]) == 0
     assert "naive-qos" in capsys.readouterr().out
+
+
+def test_parser_accepts_retry_flags():
+    args = build_parser().parse_args(
+        ["fig02", "--max-retries", "2", "--retry-backoff", "0.01",
+         "--cell-budget", "5"]
+    )
+    assert args.max_retries == 2
+    assert args.retry_backoff == 0.01
+    assert args.cell_budget == 5.0
+
+
+def test_list_includes_campaign_verbs(capsys):
+    assert main(["list"]) == 0
+    assert "campaign" in capsys.readouterr().out
+
+
+def test_campaign_verb_dispatches(capsys, tmp_path):
+    # Unknown directory: the durability CLI owns the error path.
+    assert main(["campaign", "verify", str(tmp_path / "nope")]) == 2
+    assert "no such store" in capsys.readouterr().err
+
+
+def test_campaign_verify_after_experiment(capsys, tmp_path):
+    campaign_dir = tmp_path / "campaign"
+    assert main(["db", "--mixes", "1", "--quanta", "1",
+                 "--campaign-dir", str(campaign_dir)]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "verify", str(campaign_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "intact" in out and "DAMAGED" not in out

@@ -25,6 +25,7 @@ RULE_FIXTURES = {
     "ACC001": (2, "repro.cache.fixture"),
     "TEL001": (4, "repro.models.fixture"),
     "DOC001": (4, "repro.obs.fixture"),
+    "IO001": (4, "repro.resilience.fixture"),
 }
 
 
@@ -183,6 +184,30 @@ def test_tel001_allows_raw_reads_only_inside_attach():
     assert lint_text(bad, module="repro.harness.runner") == []
 
 
+def test_io001_gated_to_persistence_packages():
+    source = 'def f(path):\n    with open(path, "w") as h:\n        h.write("x")\n'
+    assert {f.rule for f in lint_text(source, module="repro.resilience.campaign")} == {
+        "IO001"
+    }
+    assert {f.rule for f in lint_text(source, module="repro.parallel")} == {
+        "IO001"
+    }
+    # The atomic helper itself is the sanctioned wrapper and is exempt.
+    assert lint_text(source, module="repro.durability.atomic") == []
+    # Outside the persistence packages the rule stays silent.
+    assert lint_text(source, module="repro.workloads.tracefile") == []
+
+
+def test_io001_ignores_reads_and_computed_modes():
+    module = "repro.resilience.campaign"
+    reads = 'def f(p):\n    return open(p).read() + open(p, "r").read()\n'
+    assert lint_text(reads, module=module) == []
+    # A computed mode is not statically decidable; the rule stays quiet
+    # rather than guessing.
+    computed = "def f(p, m):\n    return open(p, m)\n"
+    assert lint_text(computed, module=module) == []
+
+
 # ----------------------------------------------------------------------
 # Framework behaviour: suppressions, baseline, module naming, errors.
 
@@ -264,17 +289,26 @@ def test_repro_lint_clean_on_repo():
     assert "clean" in result.stderr
 
 
-def test_checked_in_baseline_grandfathers_only_doc001():
+def test_checked_in_baseline_grandfathers_known_rules_only():
     """The simulator-invariant rules hold with NO grandfathered findings;
-    only DOC001 (docstring gaps predating the rule) may be baselined."""
+    only DOC001 (docstring gaps predating the rule) and the one IO001
+    scratch-file site in the fault injectors may be baselined."""
     data = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
     assert data["version"] == 1
     rules = {f["rule"] for f in data["findings"]}
-    assert rules <= {"DOC001"}, rules
-    # Only pre-existing model-zoo gaps are grandfathered: new code (the
-    # observability layer) must be documented from the start.
+    assert rules <= {"DOC001", "IO001"}, rules
     for finding in data["findings"]:
-        assert "/models/" in finding["path"].replace("\\", "/")
+        path = finding["path"].replace("\\", "/")
+        if finding["rule"] == "DOC001":
+            # Only pre-existing model-zoo gaps are grandfathered: new
+            # code (the observability layer) must be documented from the
+            # start.
+            assert "/models/" in path
+        else:
+            # The FlakyModel sentinel is scratch test state, not
+            # campaign state; everything durable goes through
+            # repro.durability.atomic.
+            assert path == "src/repro/resilience/inject.py"
 
 
 def test_cli_reports_violations_with_json_output(tmp_path):

@@ -9,9 +9,11 @@ from repro.experiments.common import survey_errors
 from repro.harness.runner import AloneProfile, AloneRunCache, run_workload
 from repro.parallel import CellSpec, WorkerRunError, run_cells
 from repro.resilience.campaign import Campaign
+from repro.durability.retry import RetryPolicy
 from repro.resilience.inject import (
     benign_model_factories,
     exploding_model_factories,
+    flaky_model_factories,
     process_killer_factories,
 )
 from repro.workloads.mixes import make_mix, random_mixes
@@ -214,3 +216,77 @@ def test_campaign_summary_includes_alone_cache_line():
     campaign = Campaign("t", None)
     campaign.run_cells([_cell(_mixes(1)[0], quanta=1)], workers=1)
     assert "alone-run cache" in campaign.summary()
+
+
+# ----------------------------------------------------------------------
+# Supervised retry through the parallel path.
+
+def _retrying_campaign(**kwargs):
+    return Campaign(
+        "t", None,
+        retry_policy=RetryPolicy(max_attempts=3, backoff_s=0.0, jitter=0.0),
+        **kwargs,
+    )
+
+
+def test_parallel_retry_recovers_worker_crash(tmp_path):
+    mixes = _mixes(2)
+    sentinel = str(tmp_path / "sentinel")
+    cells = [
+        _cell(mixes[0], builder=flaky_model_factories,
+              args=(sentinel, "kill"), quanta=1),
+        _cell(mixes[1], quanta=1),
+    ]
+    campaign = _retrying_campaign()
+    results = campaign.run_cells(cells, workers=2)
+    assert results[0] is not None and results[1] is not None
+    assert campaign.retried_cells == 1
+    assert campaign.retry_attempts >= 1
+    assert campaign.failures == [] and campaign.degraded == []
+    assert "recovered by retry" in campaign.summary()
+
+
+def test_parallel_retry_result_matches_serial_retry(tmp_path):
+    mix = _mixes(1)[0]
+    parallel_sentinel = str(tmp_path / "parallel")
+    serial_sentinel = str(tmp_path / "serial")
+    parallel_campaign = _retrying_campaign()
+    [parallel_result] = parallel_campaign.run_cells(
+        [_cell(mix, builder=flaky_model_factories,
+               args=(parallel_sentinel, "kill"), quanta=1)],
+        workers=2,
+    )
+    serial_campaign = _retrying_campaign()
+    serial_result = serial_campaign.run_mix(
+        mix, CONFIG, quanta=1,
+        model_factories=flaky_model_factories(serial_sentinel, "raise"),
+    )
+    from repro.resilience.campaign import result_to_json
+
+    assert result_to_json(parallel_result) == result_to_json(serial_result)
+
+
+def test_parallel_circuit_breaker_stops_deterministic_retries():
+    mixes = _mixes(2)
+    cells = [
+        _cell(mixes[0], builder=exploding_model_factories, args=(0,), quanta=1),
+        _cell(mixes[1], quanta=1),
+    ]
+    campaign = _retrying_campaign(keep_going=True)
+    results = campaign.run_cells(cells, workers=2)
+    assert results[0] is None and results[1] is not None
+    # One retry proves the InjectedFault repeats; the circuit opens and
+    # the third permitted attempt is never made.
+    assert campaign.retry_attempts == 1
+    assert [d.reason for d in campaign.degraded] == ["circuit_open"]
+    assert campaign.degraded[0].attempts == 2
+    assert len(campaign.failures) == 1
+
+
+def test_parallel_degraded_cell_raises_without_keep_going():
+    cells = [_cell(_mixes(1)[0], builder=exploding_model_factories,
+                   args=(0,), quanta=1)]
+    campaign = _retrying_campaign()
+    with pytest.raises(WorkerRunError):
+        campaign.run_cells(cells, workers=2)
+    assert [d.reason for d in campaign.degraded] == ["circuit_open"]
