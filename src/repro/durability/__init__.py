@@ -31,6 +31,7 @@ _EXPORTS: Dict[str, str] = {
     "atomic_write_text": "repro.durability.atomic",
     "durable_stream": "repro.durability.atomic",
     "fsync_dir": "repro.durability.atomic",
+    "truncate_torn_tail": "repro.durability.atomic",
     "ChecksummedLog": "repro.durability.store",
     "DamageReport": "repro.durability.store",
     "RepairResult": "repro.durability.store",

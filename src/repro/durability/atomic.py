@@ -14,6 +14,11 @@ captures, report files) goes through one of three helpers:
   (trace sinks): buffered writes, one ``flush``+``fsync`` at close, so
   durability costs one fsync per *file*, not per event.
 
+:func:`truncate_torn_tail` is the recovery counterpart of
+:func:`append_line`: it drops the uncommitted newline-less prefix a
+mid-write crash leaves, restoring the exact pre-append state before an
+appender reopens the file.
+
 All three announce the named crash points of
 :mod:`repro.durability.chaos` and honour the active
 :class:`~repro.durability.chaos.FaultPlan`'s IO faults, which is how
@@ -51,6 +56,33 @@ def _fsync_handle(handle: IO[str], plan: Optional[chaos.FaultPlan]) -> None:
         plan.sleep_fsync()
     handle.flush()
     os.fsync(handle.fileno())
+
+
+def truncate_torn_tail(path: str) -> bool:
+    """Drop a torn (newline-less) trailing partial line from ``path``.
+
+    :func:`append_line` writes each record — newline included — in one
+    ``write``, so a file whose final byte is not ``\\n`` ends in the
+    torn prefix of a record that was never durably committed.
+    Truncating back to the last newline restores the exact pre-append
+    state; appending in ``a`` mode without this repair would weld the
+    next record onto the torn prefix into one corrupt line. Returns
+    ``True`` when bytes were removed.
+    """
+    try:
+        if os.path.getsize(path) == 0:
+            return False
+    except OSError:
+        return False
+    with open(path, "rb+") as handle:
+        data = handle.read()
+        if data.endswith(b"\n"):
+            return False
+        cut = data.rfind(b"\n") + 1  # 0 when the first line itself tore
+        handle.truncate(cut)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return True
 
 
 def append_line(path: str, line: str, *, site: object = 0) -> None:
@@ -161,4 +193,5 @@ __all__ = [
     "atomic_write_text",
     "durable_stream",
     "fsync_dir",
+    "truncate_torn_tail",
 ]

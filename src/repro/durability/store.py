@@ -29,8 +29,9 @@ distinguished and handled differently:
   checksum does not match its payload: the record is *quarantined* (to
   ``<file>.quarantine``) rather than deleted, so repair never loses
   bytes it cannot prove are garbage;
-* **sequence gap** — envelopes parse but numbers are missing: reported
-  (the damage happened before this read; nothing local to fix).
+* **sequence gap / regression** — envelopes parse but numbers are
+  missing, duplicated or go backwards: reported (the damage happened
+  before this read; nothing local to fix).
 
 :func:`repair_log` rewrites the file atomically with only the intact
 records; :func:`compact_log` additionally deduplicates by a caller key
@@ -45,7 +46,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.durability.atomic import append_line, atomic_write_text
+from repro.durability.atomic import (
+    append_line,
+    atomic_write_text,
+    truncate_torn_tail,
+)
 
 STORE_SCHEMA_VERSION = 2
 HEADER_KEY = "__repro_store__"
@@ -91,6 +96,10 @@ class DamageReport:
     corrupt_lines: List[int] = field(default_factory=list)
     checksum_mismatches: List[int] = field(default_factory=list)
     sequence_gaps: List[Tuple[int, int]] = field(default_factory=list)
+    sequence_regressions: List[Tuple[int, int]] = field(default_factory=list)
+    #: highest seq carried by any envelope (intact or mismatched) —
+    #: appenders must never reuse a slot a damaged record once occupied.
+    max_seq: int = 0
     has_header: bool = False
 
     @property
@@ -115,6 +124,8 @@ class DamageReport:
             bits.append(f"{len(self.checksum_mismatches)} checksum-mismatched")
         if self.sequence_gaps:
             bits.append(f"{len(self.sequence_gaps)} seq gaps")
+        if self.sequence_regressions:
+            bits.append(f"{len(self.sequence_regressions)} seq regressions")
         status = "DAMAGED" if self.damaged else "ok"
         return f"{os.path.basename(self.path)}: {status} ({', '.join(bits)})"
 
@@ -145,9 +156,15 @@ def _classify_line(lineno: int, raw: str) -> _ParsedLine:
         and "sha" in record
         and "payload" in record
     ):
-        if payload_digest(record["payload"]) != record["sha"]:
-            return _ParsedLine(lineno, raw, "mismatch", payload=record)
         seq = record.get("seq")
+        if payload_digest(record["payload"]) != record["sha"]:
+            return _ParsedLine(
+                lineno,
+                raw,
+                "mismatch",
+                payload=record,
+                seq=seq if isinstance(seq, int) else None,
+            )
         return _ParsedLine(
             lineno,
             raw,
@@ -180,6 +197,8 @@ def _scan(path: str) -> Tuple[List[_ParsedLine], DamageReport]:
             continue
         if p.kind == "mismatch":
             report.checksum_mismatches.append(p.lineno)
+            if p.seq is not None:
+                report.max_seq = max(report.max_seq, p.seq)
             continue
         if p.kind == "legacy":
             report.legacy_records += 1
@@ -188,7 +207,12 @@ def _scan(path: str) -> Tuple[List[_ParsedLine], DamageReport]:
             if p.seq is not None:
                 if last_seq is not None and p.seq > last_seq + 1:
                     report.sequence_gaps.append((last_seq, p.seq))
-                last_seq = p.seq
+                elif last_seq is not None and p.seq <= last_seq:
+                    report.sequence_regressions.append((last_seq, p.seq))
+                # Keep the high-water mark so one regressed record does
+                # not cascade into spurious gap reports downstream.
+                last_seq = max(last_seq, p.seq) if last_seq is not None else p.seq
+                report.max_seq = max(report.max_seq, p.seq)
     return parsed, report
 
 
@@ -328,9 +352,12 @@ def compact_log(
 class ChecksummedLog:
     """Appender for one checksummed JSONL file.
 
-    Tracks the next sequence number (scanning the tail once at
-    construction) and writes the v2 header on first append to a new
-    file. Appends are atomic per record via
+    Construction repairs a torn tail (the uncommitted partial line a
+    mid-write crash leaves) *before* the first append — appending in
+    ``a`` mode onto a newline-less prefix would weld two records into
+    one corrupt line. It then scans once for the next sequence number
+    and writes the v2 header on first append to a new or empty file.
+    Appends are atomic per record via
     :func:`~repro.durability.atomic.append_line`.
     """
 
@@ -338,10 +365,13 @@ class ChecksummedLog:
         self.path = path
         self._next_seq = 1
         if os.path.exists(path):
+            truncate_torn_tail(path)
             _, report = _scan(path)
-            # Gaps notwithstanding, continue after the densest prefix:
-            # intact + legacy records all occupy sequence slots.
-            self._next_seq = report.intact_records + report.legacy_records + 1
+            # Continue past every occupied slot: the highest seq any
+            # envelope carries (damaged ones included), or — for legacy
+            # v1 files without seqs — the record count.
+            occupied = report.intact_records + report.legacy_records
+            self._next_seq = max(report.max_seq, occupied) + 1
 
     @property
     def next_seq(self) -> int:
@@ -350,7 +380,10 @@ class ChecksummedLog:
 
     def append(self, payload: Any) -> int:
         """Durably append ``payload`` (enveloped); returns its seq."""
-        if self._next_seq == 1 and not os.path.exists(self.path):
+        if self._next_seq == 1 and (
+            not os.path.exists(self.path)
+            or os.path.getsize(self.path) == 0
+        ):
             append_line(self.path, header_line(), site="header")
         seq = self._next_seq
         append_line(self.path, envelope_line(seq, payload), site=seq)

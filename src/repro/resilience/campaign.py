@@ -439,18 +439,28 @@ class Campaign:
                 return result_from_json(cached, config)
         captured_profiles: List[RunProfile] = []
         run_metrics: Optional[MetricsRegistry] = None
+        owns_profile_sink = False
+        owns_run_metrics = False
         if self.profile:
-            if "profile_sink" not in run_kwargs:
+            owns_profile_sink = "profile_sink" not in run_kwargs
+            if owns_profile_sink:
                 run_kwargs["profile_sink"] = captured_profiles.append
-            if "run_metrics" not in run_kwargs:
-                run_metrics = MetricsRegistry()
-                run_kwargs["run_metrics"] = run_metrics
+            owns_run_metrics = "run_metrics" not in run_kwargs
         policy = self.retry_policy
         attempts = 0
         last_fingerprint = ""
         started = time.monotonic()
         while True:
             attempts += 1
+            # Fresh per-attempt mutables: counters and profiles from a
+            # failed attempt must not leak into the retry, or a retried
+            # cell's persisted metrics would differ from an
+            # uninterrupted run's.
+            if owns_profile_sink:
+                captured_profiles.clear()
+            if owns_run_metrics:
+                run_metrics = MetricsRegistry()
+                run_kwargs["run_metrics"] = run_metrics
             try:
                 result = run_workload(
                     mix,

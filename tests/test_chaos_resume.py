@@ -84,6 +84,11 @@ def test_resume_after_sigkill_is_bit_identical(tmp_path, baseline, spec):
     resumed = run_driver(store, resume=True, workers=2)
     assert resumed.returncode == 0, resumed.stderr
     assert resumed.stdout.strip().splitlines()[-1] == baseline
+    # Matching digests are not enough: the resumed *store* must also have
+    # converged (torn tails healed, every recomputed record durably
+    # committed), or the next resume would silently recompute again.
+    verify = run_repro("campaign", "verify", str(store))
+    assert verify.returncode == 0, verify.stdout + verify.stderr
 
 
 @pytest.mark.parametrize(
@@ -103,6 +108,8 @@ def test_resume_after_io_fault_is_bit_identical(tmp_path, baseline, spec):
     resumed = run_driver(store, resume=True)
     assert resumed.returncode == 0, resumed.stderr
     assert resumed.stdout.strip().splitlines()[-1] == baseline
+    verify = run_repro("campaign", "verify", str(store))
+    assert verify.returncode == 0, verify.stdout + verify.stderr
 
 
 def test_verify_repair_cycle_after_torn_write(tmp_path, baseline):

@@ -343,6 +343,65 @@ def test_checksummed_log_continues_sequence_across_reopen(tmp_path):
     assert report.sequence_gaps == []
 
 
+def test_checksummed_log_heals_torn_tail_before_appending(tmp_path):
+    """Reopening over a mid-record tear (torn prefix, no trailing
+    newline) must truncate it first — an 'a'-mode append would otherwise
+    weld the new envelope onto the prefix into one corrupt line."""
+    path = tmp_path / "log.jsonl"
+    _write_clean_log(path, [{"v": 1}])
+    with open(path, "a") as handle:
+        handle.write('{"seq": 2, "sha": "ab')  # torn mid-record, no \n
+    log = ChecksummedLog(str(path))
+    assert log.next_seq == 2  # the torn record was never committed
+    assert log.append({"v": 2}) == 2
+    loaded, report = read_log(str(path))
+    assert loaded == [{"v": 1}, {"v": 2}]
+    assert not report.damaged
+
+
+def test_checksummed_log_heals_tear_inside_first_line(tmp_path):
+    """A tear inside the very first line (the header) truncates to an
+    empty file; the next append must re-write the header."""
+    path = tmp_path / "log.jsonl"
+    path.write_text(header_line()[:10])  # torn header, no newline
+    log = ChecksummedLog(str(path))
+    assert log.append({"v": 1}) == 1
+    loaded, report = read_log(str(path))
+    assert loaded == [{"v": 1}]
+    assert report.has_header and not report.damaged
+
+
+def test_checksummed_log_never_reuses_damaged_or_gapped_seqs(tmp_path):
+    path = tmp_path / "log.jsonl"
+    bad = envelope_line(2, {"v": 2}).replace('"v": 2', '"v": 666')
+    assert '"v": 666' in bad  # payload tampered, sha now stale
+    with open(path, "w") as handle:
+        handle.write(header_line() + "\n")
+        handle.write(envelope_line(1, {"v": 1}) + "\n")
+        handle.write(bad + "\n")  # checksum mismatch still owns seq 2
+        handle.write(envelope_line(5, {"v": 5}) + "\n")  # gap 3-4
+    log = ChecksummedLog(str(path))
+    assert log.next_seq == 6  # past the high-water mark, not count+1
+    assert log.append({"v": 6}) == 6
+    report = verify_log(str(path))
+    assert report.checksum_mismatches and report.sequence_gaps == [(1, 5)]
+    assert report.sequence_regressions == []
+
+
+def test_sequence_regression_reported_not_fatal(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with open(path, "w") as handle:
+        handle.write(header_line() + "\n")
+        handle.write(envelope_line(4, {"v": 4}) + "\n")
+        handle.write(envelope_line(2, {"v": 2}) + "\n")  # mixed-up file
+        handle.write(envelope_line(5, {"v": 5}) + "\n")  # vs high-water 4
+    report = verify_log(str(path))
+    assert report.sequence_regressions == [(4, 2)]
+    assert report.sequence_gaps == []  # 5 follows the high-water mark
+    assert not report.damaged  # nothing local to fix
+    assert "seq regressions" in report.summary()
+
+
 def test_missing_file_reads_empty_and_repairs_to_nothing(tmp_path):
     path = str(tmp_path / "absent.jsonl")
     loaded, report = read_log(path)
@@ -498,6 +557,39 @@ def test_campaign_unsupervised_failure_raises_without_keep_going(tmp_path):
     # Default policy is unsupervised: a failure is not a degradation.
     assert campaign.degraded == []
     assert len(campaign.failures) == 1
+
+
+def test_retried_cell_metrics_match_uninterrupted_run(tmp_path):
+    """Counters from a failed attempt must not leak into the retry: the
+    metrics persisted for a retried cell are bit-identical to an
+    uninterrupted run's."""
+    sentinel = str(tmp_path / "sentinel")
+    clean_dir = str(tmp_path / "clean")
+    retried_dir = str(tmp_path / "retried")
+    policy = RetryPolicy(max_attempts=3, backoff_s=0.0, jitter=0.0)
+    mix = _mix()
+
+    open(sentinel, "w").close()  # sentinel present: flaky never fires
+    clean = Campaign("t", clean_dir, profile=True, retry_policy=policy)
+    clean.run_mix(
+        mix, CONFIG, quanta=2,
+        model_factories=flaky_model_factories(sentinel, "raise"),
+    )
+    assert clean.retry_attempts == 0
+
+    os.unlink(sentinel)  # sentinel absent: first attempt fails
+    retried = Campaign("t", retried_dir, profile=True, retry_policy=policy)
+    retried.run_mix(
+        mix, CONFIG, quanta=2,
+        model_factories=flaky_model_factories(sentinel, "raise"),
+    )
+    assert retried.retry_attempts == 1
+
+    key = clean.run_key(mix, CONFIG, 2)
+    clean_metrics = CampaignStore(clean_dir).get_metrics(key)
+    retried_metrics = CampaignStore(retried_dir).get_metrics(key)
+    assert clean_metrics, "profiled run persisted no metrics"
+    assert retried_metrics == clean_metrics
 
 
 def test_supervisor_metrics_persisted_in_store(tmp_path):
