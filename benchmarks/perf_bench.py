@@ -1,240 +1,24 @@
-"""Perf-regression harness: wall-clock + events/sec capture into BENCH_*.json.
+"""Thin wrapper: the benchmark logic lives in :mod:`repro.perfbench`.
 
-Two benchmarks, runnable together or separately:
-
-* **Event-loop microbenchmark** (``--micro``): drives :class:`repro.engine.
-  Engine` with a bundle of self-rescheduling callbacks (several sharing
-  timestamps, several free-running) and reports raw events/sec of the
-  dispatch loop itself. This is the number the single-process hot-path
-  optimizations defend.
-* **Sweep benchmark** (``--sweep``): runs a fig02-style error survey once
-  serially and once through the parallel campaign layer (``--workers N``),
-  reports wall clock for both, the speedup, and whether the two produced
-  identical results (they must: the simulator is deterministic per cell).
-
-Results are appended-to/merged-into a JSON file (default ``BENCH_perf.json``
-at the repo root) so every PR lands with a measured before/after and future
-PRs have a trajectory to defend::
+Preserved entry point so existing invocations keep working::
 
     PYTHONPATH=src python benchmarks/perf_bench.py --workers 4
     PYTHONPATH=src python benchmarks/perf_bench.py --micro-only
     PYTHONPATH=src python benchmarks/perf_bench.py --check-equality
 
-``--check-equality`` exits non-zero when the parallel sweep does not match
-the serial sweep, which is how CI's perf-smoke job asserts correctness.
-
-Numbers depend on the host; ``cpu_count`` is recorded alongside so a
-1-core CI box showing no parallel speedup is distinguishable from a
-regression (workers cannot beat serial without cores to run on).
+The same captures are available through the CLI as ``repro bench run``
+(plus ``compare`` / ``merge`` / ``ab`` verbs).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
-import platform
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.engine import Engine  # noqa: E402
-
-
-# ---------------------------------------------------------------------------
-# Event-loop microbenchmark
-# ---------------------------------------------------------------------------
-
-def engine_microbench(target_events: int = 300_000, repeats: int = 5) -> dict:
-    """Measure raw dispatch throughput of the event loop (best of N runs;
-    shared CI boxes are noisy, and the best run is the least-perturbed one).
-
-    The callback population mirrors what a simulation schedules: several
-    periodic streams that collide on the same timestamp (core issue +
-    controller wake at one cycle), plus free-running streams with co-prime
-    periods so most timestamps carry a single event.
-    """
-    best = None
-    for _ in range(repeats):
-        run = _engine_microbench_once(target_events)
-        if best is None or run["events_per_s"] > best["events_per_s"]:
-            best = run
-    best["repeats"] = repeats
-    return best
-
-
-def _engine_microbench_once(target_events: int) -> dict:
-    engine = Engine()
-    counter = [0]
-
-    def make_recurring(period: int):
-        def cb() -> None:
-            counter[0] += 1
-            engine.schedule(period, cb)
-        return cb
-
-    # Four streams sharing period 5 (same-cycle batches), three co-prime
-    # free-runners, and one zero-delay chain emulating wake->issue pairs.
-    for _ in range(4):
-        engine.schedule(5, make_recurring(5))
-    for period in (3, 7, 11):
-        engine.schedule(period, make_recurring(period))
-
-    def chained() -> None:
-        counter[0] += 1
-        engine.schedule(0, lambda: counter.__setitem__(0, counter[0] + 1))
-        engine.schedule(13, chained)
-
-    engine.schedule(13, chained)
-
-    # Events per simulated cycle ~= 4/5 + 1/3 + 1/7 + 1/11 + 2/13 ~= 1.52.
-    horizon = int(target_events / 1.52)
-    start = time.perf_counter()
-    engine.run(until=horizon)
-    elapsed = time.perf_counter() - start
-    events = engine.events_executed
-    return {
-        "events": events,
-        "wall_s": round(elapsed, 4),
-        "events_per_s": round(events / elapsed, 1),
-    }
-
-
-# ---------------------------------------------------------------------------
-# Sweep benchmark (serial vs parallel campaign execution)
-# ---------------------------------------------------------------------------
-
-def _run_sweep(num_mixes: int, quanta: int, workers: int, seed: int):
-    """One fig02-style survey; returns (survey, wall_seconds)."""
-    from repro.experiments import error_comparison
-    from repro.resilience import Campaign
-
-    campaign = Campaign("perf_bench", None)
-    kwargs = {}
-    if workers > 1:
-        kwargs["workers"] = workers
-    start = time.perf_counter()
-    result = error_comparison.run(
-        sampled=False,
-        num_mixes=num_mixes,
-        quanta=quanta,
-        seed=seed,
-        campaign=campaign,
-        **kwargs,
-    )
-    elapsed = time.perf_counter() - start
-    return result.survey, elapsed
-
-
-def _surveys_identical(a, b) -> bool:
-    return (
-        a.model_names == b.model_names
-        and a.overall == b.overall
-        and a.per_app == b.per_app
-        and a.per_workload == b.per_workload
-    )
-
-
-def sweep_bench(num_mixes: int, quanta: int, workers: int, seed: int) -> dict:
-    serial_survey, serial_s = _run_sweep(num_mixes, quanta, 1, seed)
-    record = {
-        "num_mixes": num_mixes,
-        "quanta": quanta,
-        "serial_wall_s": round(serial_s, 3),
-    }
-    if workers > 1:
-        parallel_survey, parallel_s = _run_sweep(num_mixes, quanta, workers, seed)
-        record.update(
-            {
-                "workers": workers,
-                "parallel_wall_s": round(parallel_s, 3),
-                "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-                "identical_results": _surveys_identical(
-                    serial_survey, parallel_survey
-                ),
-            }
-        )
-    return record
-
-
-# ---------------------------------------------------------------------------
-# JSON capture
-# ---------------------------------------------------------------------------
-
-def merge_results(path: Path, section: str, record: dict, label: str) -> None:
-    data = {}
-    if path.exists():
-        try:
-            data = json.loads(path.read_text())
-        except ValueError:
-            data = {}
-    data.setdefault("platform", {}).update(
-        {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "machine": platform.machine(),
-        }
-    )
-    data.setdefault(section, {})[label] = record
-    from repro.durability.atomic import atomic_write_text
-
-    atomic_write_text(str(path), json.dumps(data, indent=2, sort_keys=True) + "\n")
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--workers", type=int, default=4,
-                        help="parallel workers for the sweep benchmark")
-    parser.add_argument("--mixes", type=int, default=4,
-                        help="workloads in the sweep benchmark")
-    parser.add_argument("--quanta", type=int, default=2,
-                        help="quanta per run in the sweep benchmark")
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--micro-events", type=int, default=300_000,
-                        help="approximate events in the microbenchmark")
-    parser.add_argument("--micro-only", action="store_true",
-                        help="run only the event-loop microbenchmark")
-    parser.add_argument("--sweep-only", action="store_true",
-                        help="run only the sweep benchmark")
-    parser.add_argument("--label", type=str, default="current",
-                        help="label for this capture inside the JSON")
-    parser.add_argument("--out", type=str,
-                        default=str(REPO_ROOT / "BENCH_perf.json"))
-    parser.add_argument("--check-equality", action="store_true",
-                        help="exit non-zero unless parallel == serial")
-    args = parser.parse_args(argv)
-
-    out = Path(args.out)
-    status = 0
-
-    if not args.sweep_only:
-        micro = engine_microbench(args.micro_events)
-        merge_results(out, "engine_microbench", micro, args.label)
-        print(f"engine_microbench[{args.label}]: "
-              f"{micro['events_per_s']:,.0f} events/s "
-              f"({micro['events']} events in {micro['wall_s']}s)")
-
-    if not args.micro_only:
-        sweep = sweep_bench(args.mixes, args.quanta, args.workers, args.seed)
-        merge_results(out, "sweep", sweep, args.label)
-        print(f"sweep[{args.label}]: serial {sweep['serial_wall_s']}s", end="")
-        if "parallel_wall_s" in sweep:
-            print(f", {sweep['workers']} workers {sweep['parallel_wall_s']}s, "
-                  f"speedup {sweep['speedup']}x, "
-                  f"identical={sweep['identical_results']}")
-            if args.check_equality and not sweep["identical_results"]:
-                print("ERROR: parallel sweep results differ from serial",
-                      file=sys.stderr)
-                status = 1
-        else:
-            print()
-
-    print(f"wrote {out}")
-    return status
-
+from repro.perfbench import legacy_main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(legacy_main())

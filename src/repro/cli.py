@@ -189,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "'repro telemetry-faults' for the full sweep")
     parser.add_argument("--telemetry-seed", type=int, default=0,
                         help="seed for the telemetry fault injector")
+    parser.add_argument("--engine", type=str, default=None,
+                        choices=("event", "columnar"),
+                        help="execution backend (default: event; columnar "
+                             "is the batched backend, bit-identical — see "
+                             "DESIGN.md §9)")
     parser.add_argument("--profile", action="store_true",
                         help="time every computed cell and print the "
                              "per-cell timing table; snapshots per-quantum "
@@ -223,6 +228,10 @@ def main(argv=None) -> int:
         from repro.durability.cli import campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perfbench import bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -232,6 +241,8 @@ def main(argv=None) -> int:
         print(f"{'profile':14s} stage timers + cProfile on a small mix")
         print(f"{'campaign':14s} verify/repair/compact checkpoint stores "
               "(repro campaign verify|repair|compact)")
+        print(f"{'bench':14s} perf benchmarks + columnar A/B drill "
+              "(repro bench run|compare|merge|ab)")
         return 0
     if args.experiment not in EXPERIMENTS:
         return _unknown_experiment(args.experiment)
@@ -288,6 +299,14 @@ def main(argv=None) -> int:
             )
             telemetry = None
 
+    engine = args.engine
+    if engine and "engine" not in getattr(runner, "supports", ()):
+        sys.stderr.write(
+            f"repro: '{args.experiment}' does not support --engine; "
+            "running on the event engine.\n"
+        )
+        engine = None
+
     start = time.time()
     result = runner(
         args.mixes or None,
@@ -296,6 +315,7 @@ def main(argv=None) -> int:
         campaign=campaign,
         workers=args.workers if args.workers > 1 else None,
         telemetry=telemetry,
+        engine=engine,
     )
     table = result.format_table()
     print(table)

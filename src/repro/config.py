@@ -151,6 +151,12 @@ class SystemConfig:
     # at full scale amortise this; short scaled epochs need the explicit
     # exclusion (0 disables it — the paper-faithful setting).
     epoch_warmup_cycles: int = 0
+    # Execution backend: "event" (the per-callback engine, the default and
+    # the correctness oracle) or "columnar" (repro.vector: batched array
+    # passes, bit-identical counters — see DESIGN.md §9). Kept as the last
+    # field so campaign-store fingerprints of pre-existing configs are
+    # unchanged (see repro.resilience.faults.config_fingerprint).
+    engine: str = "event"
 
     def with_cores(self, num_cores: int) -> "SystemConfig":
         return dataclasses.replace(self, num_cores=num_cores)
@@ -175,6 +181,9 @@ class SystemConfig:
             self, core=dataclasses.replace(self.core, prefetcher_enabled=enabled)
         )
 
+    def with_engine(self, engine: str) -> "SystemConfig":
+        return dataclasses.replace(self, engine=engine)
+
     def validate(self) -> None:
         if self.num_cores < 1:
             raise ValueError("need at least one core")
@@ -186,6 +195,10 @@ class SystemConfig:
             raise ValueError("quantum must be a whole number of epochs")
         if not 0 <= self.epoch_warmup_cycles < self.epoch_cycles:
             raise ValueError("epoch warmup must be shorter than the epoch")
+        if self.engine not in ("event", "columnar"):
+            raise ValueError(
+                f"engine must be 'event' or 'columnar', got {self.engine!r}"
+            )
 
 
 DEFAULT_CONFIG = SystemConfig()

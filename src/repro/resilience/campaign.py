@@ -94,6 +94,11 @@ def mix_from_json(data: dict) -> WorkloadMix:
 
 def result_to_json(result: RunResult) -> dict:
     return {
+        # Which execution backend computed the cell. Purely informational
+        # (the cell key already folds the backend in via the config
+        # fingerprint when non-default); old records without it read back
+        # fine because result_from_json rebuilds config from its argument.
+        "engine": result.config.engine,
         "mix": mix_to_json(result.mix),
         "records": [
             {

@@ -37,8 +37,18 @@ def config_fingerprint(config: SystemConfig) -> str:
 
     Two runs with equal fingerprints simulate identical platforms, so the
     fingerprint keys checkpoint stores and failure-replay records.
+
+    The execution backend is part of the fingerprint only when it is not
+    the default: the columnar backend is bit-identical by contract, but a
+    cell computed by it should say so in its key; dropping the default
+    ``engine='event'`` suffix keeps every fingerprint (and thus every
+    existing campaign store) from before the field existed valid.
     """
-    return stable_hash(config)
+    text = repr(config)
+    default_suffix = ", engine='event')"
+    if config.engine == "event" and text.endswith(default_suffix):
+        text = text[: -len(default_suffix)] + ")"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass

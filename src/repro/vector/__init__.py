@@ -1,0 +1,31 @@
+"""Columnar batched execution backend (the ``--engine columnar`` path).
+
+The event engine (:mod:`repro.engine`) dispatches one Python callback per
+memory request; this package processes the same request streams as array
+passes:
+
+* :mod:`repro.vector.columns` — the kernel layer: NumPy when the ``fast``
+  extra is installed, a pure-Python fallback otherwise. The only module
+  allowed to loop per element (rule VEC001).
+* :mod:`repro.vector.batch` — per-core request columns (``cycle``,
+  ``addr``, ``core``, ``kind``), the cycle-ordered merge, and the
+  :class:`~repro.vector.batch.BatchPlane` that stages accesses between
+  epoch/measure/quantum boundaries for batched consumers.
+* :mod:`repro.vector.engine` — :class:`~repro.vector.engine.ColumnarEngine`,
+  an :class:`~repro.engine.Engine` subclass that adds a batched stream
+  plane: periodic work is dispatched one window at a time instead of one
+  callback per firing.
+* :mod:`repro.vector.passes` — vectorized LLC set/tag classification,
+  DRAM address mapping and the grouped per-bank row-buffer scan.
+* :mod:`repro.vector.ab` — the A/B harness proving the columnar backend
+  bit-identical to the event engine (the correctness oracle).
+
+The event engine stays the default; ``SystemConfig.engine = "columnar"``
+(or ``--engine columnar`` on the CLI) opts a run into this backend, and
+the A/B harness asserts that every counter the five slowdown models read
+is unchanged.
+"""
+
+from repro.vector.columns import HAVE_NUMPY, backend
+
+__all__ = ["HAVE_NUMPY", "backend"]

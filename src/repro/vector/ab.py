@@ -1,0 +1,331 @@
+"""A/B bit-identity harness: the event engine as the columnar oracle.
+
+The columnar backend is only trustworthy because it is *checkable*: every
+workload can be run under both engines and compared bit for bit. This
+module is that check. It compares, between ``engine='event'`` and
+``engine='columnar'`` runs of the same workload:
+
+* every per-quantum record — committed instructions, shared IPC, actual
+  slowdowns, and each model's estimates/confidence/degradation (the five
+  models: asm, mise, fst, ptca, stfm);
+* full experiment JSON output (fig01 CAR-proxy points, fig04 error
+  surveys), serialized with sorted keys so the comparison is canonical;
+* the cycle-ordered merge guarantee itself: the per-core column streams,
+  split and re-merged, must reproduce the event engine's global access
+  order exactly.
+
+Comparisons use exact equality on the JSON-serialized structures — no
+tolerances. A mismatch report names the quantum/field that diverged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig, scaled_config
+from repro.harness.runner import AloneRunCache, ModelFactory, run_workload
+from repro.telemetry.spec import TelemetrySpec
+from repro.workloads.mixes import WorkloadMix, random_mixes
+
+
+@dataclass
+class AbReport:
+    """Outcome of one A/B comparison: empty ``mismatches`` means bit-identical."""
+
+    label: str
+    compared: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def merge(self, other: "AbReport") -> None:
+        self.compared += other.compared
+        self.mismatches.extend(
+            f"{other.label}: {m}" for m in other.mismatches
+        )
+
+    def summary(self) -> str:
+        verdict = "bit-identical" if self.ok else "MISMATCH"
+        lines = [f"ab[{self.label}]: {verdict} ({self.compared} comparisons)"]
+        lines.extend(f"  {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def _canonical(obj: object) -> str:
+    """Canonical JSON text; NaN serializes as a token so NaN == NaN holds
+    (fig04 ground-truth slowdowns are NaN for stalled cores in both runs)."""
+    return json.dumps(obj, sort_keys=True)
+
+
+def default_model_factories(config: SystemConfig) -> Dict[str, ModelFactory]:
+    """All five models, with sampled auxiliary structures where the paper
+    samples them — the configuration whose counters the A/B drill defends."""
+    from repro.models.asm import AsmModel
+    from repro.models.fst import FstModel
+    from repro.models.mise import MiseModel
+    from repro.models.ptca import PtcaModel
+    from repro.models.stfm import StfmModel
+
+    sets = config.ats_sampled_sets
+    return {
+        "asm": lambda: AsmModel(sampled_sets=sets),
+        "fst": lambda: FstModel(),
+        "mise": lambda: MiseModel(),
+        "ptca": lambda: PtcaModel(sampled_sets=sets),
+        "stfm": lambda: StfmModel(),
+    }
+
+
+def compare_runs(
+    mix: WorkloadMix,
+    config: Optional[SystemConfig] = None,
+    quanta: int = 2,
+    model_factories: Optional[
+        Callable[[SystemConfig], Dict[str, ModelFactory]]
+    ] = None,
+    telemetry: Optional[TelemetrySpec] = None,
+) -> AbReport:
+    """Run ``mix`` under both engines and compare every quantum record.
+
+    The alone-run cache is shared between the two runs (alone profiles are
+    engine-independent by construction — ``AloneRunCache`` keys exclude the
+    backend), so the comparison isolates the shared-run execution path.
+    """
+    config = config or scaled_config()
+    builder = model_factories or default_model_factories
+    cache = AloneRunCache()
+    report = AbReport(label=f"run:{mix.name}")
+
+    results = {}
+    for engine in ("event", "columnar"):
+        cfg = config.with_engine(engine)
+        results[engine] = run_workload(
+            mix,
+            cfg,
+            model_factories=builder(cfg),
+            quanta=quanta,
+            alone_cache=cache,
+            telemetry=telemetry,
+        )
+
+    event_records = results["event"].records
+    columnar_records = results["columnar"].records
+    if len(event_records) != len(columnar_records):
+        report.mismatches.append(
+            f"quantum count differs: {len(event_records)} vs "
+            f"{len(columnar_records)}"
+        )
+        return report
+    for ev, co in zip(event_records, columnar_records):
+        report.compared += 1
+        d_ev = dataclasses.asdict(ev)
+        d_co = dataclasses.asdict(co)
+        for key in d_ev:
+            if _canonical(d_ev[key]) != _canonical(d_co[key]):
+                report.mismatches.append(
+                    f"quantum {ev.index} field {key!r}: "
+                    f"{d_ev[key]!r} != {d_co[key]!r}"
+                )
+    return report
+
+
+def compare_mixes(
+    num_mixes: int = 2,
+    num_cores: int = 4,
+    quanta: int = 2,
+    config: Optional[SystemConfig] = None,
+    seed: int = 42,
+    telemetry: Optional[TelemetrySpec] = None,
+) -> AbReport:
+    """A/B over a stratified random workload sample (the standard drill)."""
+    config = config or scaled_config(num_cores)
+    report = AbReport(label=f"mixes:{num_mixes}x{num_cores}c")
+    for mix in random_mixes(num_mixes, num_cores, seed=seed):
+        report.merge(
+            compare_runs(mix, config, quanta=quanta, telemetry=telemetry)
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Experiment-level JSON comparisons
+# ---------------------------------------------------------------------------
+
+def _fig01_json(config: SystemConfig, apps: Sequence[str], cycles: int) -> str:
+    from repro.experiments import fig01_car_proxy
+
+    result = fig01_car_proxy.run(
+        apps=apps,
+        intensities=(0.25, 0.7),
+        cache_pressures=(0.8,),
+        cycles=cycles,
+        config=config,
+    )
+    return _canonical({app: points for app, points in result.points.items()})
+
+
+def compare_fig01(
+    config: Optional[SystemConfig] = None,
+    apps: Sequence[str] = ("bzip2", "soplex"),
+    cycles: int = 100_000,
+) -> AbReport:
+    """fig01 CAR-proxy points must serialize identically under both engines."""
+    config = config or scaled_config()
+    report = AbReport(label="fig01", compared=1)
+    event = _fig01_json(config.with_engine("event"), apps, cycles)
+    columnar = _fig01_json(config.with_engine("columnar"), apps, cycles)
+    if event != columnar:
+        report.mismatches.append("fig01 JSON output differs between engines")
+    return report
+
+
+def _survey_json(survey: object) -> str:
+    return _canonical(
+        {
+            "model_names": getattr(survey, "model_names"),
+            "overall": getattr(survey, "overall"),
+            "per_app": getattr(survey, "per_app"),
+            "per_workload": getattr(survey, "per_workload"),
+        }
+    )
+
+
+def compare_fig04(
+    num_mixes: int = 2,
+    quanta: int = 2,
+    config: Optional[SystemConfig] = None,
+    seed: int = 42,
+) -> AbReport:
+    """fig04 error surveys must serialize identically under both engines."""
+    from repro.experiments import fig04_error_distribution
+
+    config = config or scaled_config()
+    report = AbReport(label="fig04", compared=1)
+    texts = {}
+    for engine in ("event", "columnar"):
+        result = fig04_error_distribution.run(
+            num_mixes=num_mixes,
+            quanta=quanta,
+            config=config.with_engine(engine),
+            seed=seed,
+        )
+        texts[engine] = _survey_json(result.survey)
+    if texts["event"] != texts["columnar"]:
+        report.mismatches.append("fig04 survey JSON differs between engines")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Merge-order guarantee
+# ---------------------------------------------------------------------------
+
+def check_merge_order(
+    mix: Optional[WorkloadMix] = None,
+    config: Optional[SystemConfig] = None,
+    cycles: int = 50_000,
+    seed: int = 7,
+) -> AbReport:
+    """Split-then-merge must reproduce the event engine's access order.
+
+    Runs a shared workload under the event engine, captures the global
+    access stream via an access listener, splits it into per-core column
+    streams and merges them back with
+    :func:`repro.vector.batch.merge_streams`. The merged columns must
+    equal the captured stream element for element — the cycle-ordered,
+    arrival-tie-broken merge is what lets per-core passes stand in for
+    the interleaved event order.
+    """
+    from repro.harness.system import System
+    from repro.vector import columns as col
+    from repro.vector.batch import RequestBatch, merge_streams, split_by_core
+
+    config = config or scaled_config()
+    if mix is None:
+        mix = random_mixes(1, config.num_cores, seed=seed)[0]
+    captured: List[tuple] = []
+
+    system = System(config.with_engine("event"), mix.traces(), seed=mix.seed)
+    system.hierarchy.access_listeners.append(
+        lambda core, addr, is_write, hit, now: captured.append(
+            (now, addr, core, is_write, hit)
+        )
+    )
+    system.run_until(cycles)
+
+    batch = RequestBatch(
+        cycles=col.column([c[0] for c in captured]),
+        addrs=col.column([c[1] for c in captured]),
+        cores=col.column([c[2] for c in captured]),
+        kinds=col.mask_column([c[3] for c in captured]),
+        hits=col.mask_column([c[4] for c in captured]),
+    )
+    merged = merge_streams(split_by_core(batch))
+    round_trip = list(
+        zip(
+            col.tolist(merged.cycles),
+            col.tolist(merged.addrs),
+            col.tolist(merged.cores),
+            [bool(k) for k in col.tolist(merged.kinds)],
+            [bool(h) for h in col.tolist(merged.hits)],
+        )
+    )
+    report = AbReport(label="merge-order", compared=len(captured))
+    if round_trip != captured:
+        first = next(
+            (i for i, (a, b) in enumerate(zip(round_trip, captured)) if a != b),
+            min(len(round_trip), len(captured)),
+        )
+        report.mismatches.append(
+            f"merge order diverges at element {first} of {len(captured)}"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Full drill
+# ---------------------------------------------------------------------------
+
+def run_ab(
+    num_mixes: int = 2,
+    quanta: int = 2,
+    num_cores: int = 4,
+    seed: int = 42,
+    config: Optional[SystemConfig] = None,
+    include_experiments: bool = True,
+    telemetry_faults: Optional[str] = "dropped-read:0.05",
+) -> AbReport:
+    """The standard A/B drill CI runs: workload records, merge order, the
+    experiment JSON outputs, and one telemetry-faulted arm (faults are
+    injected deterministically, so they too must be bit-identical)."""
+    config = config or scaled_config(num_cores)
+    report = AbReport(label="ab")
+    report.merge(
+        compare_mixes(num_mixes, num_cores, quanta, config=config, seed=seed)
+    )
+    report.merge(check_merge_order(config=config, seed=seed))
+    if telemetry_faults:
+        spec = TelemetrySpec.parse(telemetry_faults, seed=seed)
+        mix = random_mixes(1, num_cores, seed=seed + 1)[0]
+        faulted = compare_runs(mix, config, quanta=quanta, telemetry=spec)
+        faulted.label = f"telemetry:{telemetry_faults}"
+        report.merge(faulted)
+    if include_experiments:
+        report.merge(compare_fig01(config=config))
+        report.merge(compare_fig04(num_mixes=1, quanta=quanta, config=config, seed=seed))
+    return report
+
+
+__all__ = [
+    "AbReport",
+    "check_merge_order",
+    "compare_fig01",
+    "compare_fig04",
+    "compare_mixes",
+    "compare_runs",
+    "run_ab",
+]

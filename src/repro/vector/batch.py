@@ -1,0 +1,215 @@
+"""Request batches: columnar spans of demand accesses, and the staging plane.
+
+The event engine notifies access listeners one call per request. In
+columnar mode the :class:`BatchPlane` replaces that per-request fan-out
+for the models that can consume batches (ASM, PTCA): it registers a
+single access listener that *stages* each request into parallel arrays
+and flushes them to batch consumers at exactly the boundaries where the
+models' classification state changes — epoch start, measurement start,
+and the quantum boundary. Between two consecutive boundaries every
+staged request was classified identically by the scalar listeners
+(``_measuring`` is constant over the span), so one batched counter
+update per span is bit-identical to one scalar update per request
+(counter increments commute; see ``repro.telemetry.counters``: faults
+apply at read time).
+
+:class:`RequestBatch` carries the span as columns — ``cycle``, ``addr``,
+``core``, ``kind`` (write flag) plus the LLC ``hit`` outcome — in global
+service order. :func:`split_by_core` / :func:`merge_streams` round-trip
+the batch through per-core streams: the merge is cycle-ordered with ties
+broken by arrival sequence, which reproduces the event engine's global
+order exactly (the A/B harness asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.vector import columns as col
+
+BatchConsumer = Callable[["RequestBatch"], None]
+
+
+class RequestBatch:
+    """One flushed span of demand accesses, in global service order."""
+
+    __slots__ = ("cycles", "addrs", "cores", "kinds", "hits", "_core_groups")
+
+    def __init__(
+        self,
+        cycles: col.Column,
+        addrs: col.Column,
+        cores: col.Column,
+        kinds: col.Mask,
+        hits: col.Mask,
+    ) -> None:
+        self.cycles = cycles
+        self.addrs = addrs
+        self.cores = cores
+        self.kinds = kinds
+        self.hits = hits
+        # Per-core index groups are computed once and shared by every
+        # consumer of the batch (ASM and PTCA group identically).
+        self._core_groups: Optional[List[Tuple[int, List[int]]]] = None
+
+    def __len__(self) -> int:
+        return col.size(self.addrs)
+
+    def groups_by_core(self) -> List[Tuple[int, List[int]]]:
+        """``(core, original_indices)`` groups; indices in service order."""
+        if self._core_groups is None:
+            self._core_groups = list(col.group_by(self.cores))
+        return self._core_groups
+
+
+class CoreStream:
+    """One core's requests in arrival order, with global sequence numbers.
+
+    ``seqs`` records each request's position in the global service order;
+    :func:`merge_streams` uses it to break same-cycle ties so the merged
+    batch reproduces the event engine's ordering bit for bit.
+    """
+
+    __slots__ = ("core", "cycles", "addrs", "kinds", "hits", "seqs")
+
+    def __init__(
+        self,
+        core: int,
+        cycles: col.Column,
+        addrs: col.Column,
+        kinds: col.Mask,
+        hits: col.Mask,
+        seqs: col.Column,
+    ) -> None:
+        self.core = core
+        self.cycles = cycles
+        self.addrs = addrs
+        self.kinds = kinds
+        self.hits = hits
+        self.seqs = seqs
+
+    def __len__(self) -> int:
+        return col.size(self.addrs)
+
+
+def split_by_core(batch: RequestBatch) -> List[CoreStream]:
+    """Extract per-core streams (each in that core's arrival order)."""
+    streams: List[CoreStream] = []
+    for core, idx in batch.groups_by_core():
+        streams.append(
+            CoreStream(
+                core=core,
+                cycles=col.take(batch.cycles, idx),
+                addrs=col.take(batch.addrs, idx),
+                kinds=col.take(batch.kinds, idx),
+                hits=col.take(batch.hits, idx),
+                seqs=col.column(idx),
+            )
+        )
+    return streams
+
+
+def merge_streams(streams: Sequence[CoreStream]) -> RequestBatch:
+    """Cycle-ordered merge of per-core columns into one global batch.
+
+    Requests are ordered by ascending cycle with same-cycle ties broken
+    by global arrival sequence — the interleaving-conflict resolution
+    that makes the merged service order identical to the event engine's.
+    """
+    cycles = col.concat([s.cycles for s in streams])
+    addrs = col.concat([s.addrs for s in streams])
+    cores = col.concat([col.full(len(s), s.core) for s in streams])
+    kinds = col.concat_masks([s.kinds for s in streams])
+    hits = col.concat_masks([s.hits for s in streams])
+    seqs = col.concat([s.seqs for s in streams])
+    order = col.merge_order(cycles, seqs)
+    return RequestBatch(
+        cycles=col.take(cycles, order),
+        addrs=col.take(addrs, order),
+        cores=col.take(cores, order),
+        kinds=col.take(kinds, order),
+        hits=col.take(hits, order),
+    )
+
+
+class BatchPlane:
+    """Staging arena between the memory hierarchy and batch consumers.
+
+    The plane's :meth:`stage` method has the access-listener signature
+    and appends each request to parallel staging lists; :meth:`flush`
+    converts them to columns and hands the batch to every registered
+    consumer. The system wires ``flush`` as the *first* epoch, measure
+    and quantum listener, so consumers always see a span flushed before
+    any model callback mutates its classification state.
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self._cycles: List[int] = []
+        self._addrs: List[int] = []
+        self._cores: List[int] = []
+        self._kinds: List[bool] = []
+        self._hits: List[bool] = []
+        self._consumers: List[BatchConsumer] = []
+        # Set by System when the plane is wired to a hierarchy; staging
+        # starts lazily with the first consumer so event-engine parity
+        # costs nothing when no model batches.
+        self._listener_host: Optional[object] = None
+        self._listening = False
+        self.batches_flushed = 0
+        self.requests_staged = 0
+
+    # -- wiring --------------------------------------------------------
+    def bind(self, hierarchy: object) -> None:
+        """Attach to a hierarchy; staging begins at first registration."""
+        self._listener_host = hierarchy
+        if self._consumers:  # pragma: no cover - register-then-bind order
+            self._ensure_listening()
+
+    def register(self, consumer: BatchConsumer) -> None:
+        self._consumers.append(consumer)
+        self._ensure_listening()
+
+    def _ensure_listening(self) -> None:
+        if self._listening or self._listener_host is None:
+            return
+        listeners = getattr(self._listener_host, "access_listeners")
+        listeners.append(self.stage)
+        self._listening = True
+
+    # -- hot path ------------------------------------------------------
+    def stage(
+        self, core: int, line_addr: int, is_write: bool, hit: bool, now: int
+    ) -> None:
+        """Access-listener hook: append one request to the staging span."""
+        self._cycles.append(now)
+        self._addrs.append(line_addr)
+        self._cores.append(core)
+        self._kinds.append(is_write)
+        self._hits.append(hit)
+
+    # -- boundaries ----------------------------------------------------
+    def flush(self) -> None:
+        """Convert the staged span to columns and feed every consumer."""
+        if not self._addrs:
+            return
+        batch = RequestBatch(
+            cycles=col.column(self._cycles),
+            addrs=col.column(self._addrs),
+            cores=col.column(self._cores),
+            kinds=col.mask_column(self._kinds),
+            hits=col.mask_column(self._hits),
+        )
+        self.requests_staged += len(batch)
+        self.batches_flushed += 1
+        self._cycles = []
+        self._addrs = []
+        self._cores = []
+        self._kinds = []
+        self._hits = []
+        for consumer in self._consumers:
+            consumer(batch)
+
+    def flush_owner(self, owner: int) -> None:
+        """Epoch/measure-listener adapter (ignores the owner argument)."""
+        self.flush()

@@ -1,0 +1,303 @@
+"""Columnar kernels: the only :mod:`repro.vector` module that may loop.
+
+Every hot pass in the columnar backend is composed from these primitives.
+With NumPy installed (the optional ``fast`` extra) each kernel is one
+vectorised array operation; without it a pure-Python fallback keeps
+``pip install repro`` dependency-free. The per-element fallback loops
+live here and only here — rule VEC001 forbids them in the rest of the
+package, because a Python loop over a column re-creates exactly the
+per-event dispatch cost the backend exists to remove.
+
+Columns are ``int64`` NumPy arrays in the fast path and plain Python
+lists in the fallback; masks are boolean arrays / lists of bool. Both
+backends are bit-identical: every kernel is integer arithmetic plus
+stable ordering, so a consumer cannot tell which one produced its
+counts (the A/B tests assert this).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+# NumPy is optional (the ``fast`` extra); ``Any`` keeps the module
+# type-checkable without numpy stubs installed.
+_np: Any = None
+try:  # pragma: no cover - exercised via both CI legs
+    _np = importlib.import_module("numpy")
+except Exception:  # pragma: no cover - numpy-free environments
+    _np = None
+
+HAVE_NUMPY: bool = _np is not None
+
+#: A column of int64 values: ``numpy.ndarray`` or ``List[int]``.
+Column = Any
+#: A boolean mask aligned with a column: bool ndarray or ``List[bool]``.
+Mask = Any
+
+# Tests and the fallback CI leg force the pure-Python path even when
+# numpy is importable, so both implementations stay covered everywhere.
+_force_fallback = False
+
+
+def force_fallback(enabled: bool) -> None:
+    """Force the pure-Python kernels even when NumPy is available."""
+    global _force_fallback
+    _force_fallback = enabled
+
+
+def use_numpy() -> bool:
+    """Whether kernels currently run on NumPy."""
+    return HAVE_NUMPY and not _force_fallback
+
+
+def backend() -> str:
+    """Name of the active kernel backend: ``"numpy"`` or ``"python"``."""
+    return "numpy" if use_numpy() else "python"
+
+
+# ---------------------------------------------------------------------------
+# Construction / conversion
+# ---------------------------------------------------------------------------
+
+def column(values: Sequence[int]) -> Column:
+    """Build a column from a staged Python list."""
+    if use_numpy():
+        return _np.asarray(values, dtype=_np.int64)
+    return list(values)
+
+
+def mask_column(values: Sequence[bool]) -> Mask:
+    if use_numpy():
+        return _np.asarray(values, dtype=bool)
+    return list(values)
+
+
+def full(n: int, value: int) -> Column:
+    """A column of ``n`` copies of ``value``."""
+    if use_numpy():
+        return _np.full(n, value, dtype=_np.int64)
+    return [value] * n
+
+
+def concat(cols: Sequence[Column]) -> Column:
+    """Concatenate columns in order."""
+    if use_numpy():
+        if not cols:
+            return _np.zeros(0, dtype=_np.int64)
+        return _np.concatenate([_np.asarray(c, dtype=_np.int64) for c in cols])
+    out: List[int] = []
+    for c in cols:
+        out.extend(c)
+    return out
+
+
+def concat_masks(masks: Sequence[Mask]) -> Mask:
+    if use_numpy():
+        if not masks:
+            return _np.zeros(0, dtype=bool)
+        return _np.concatenate([_np.asarray(m, dtype=bool) for m in masks])
+    out: List[bool] = []
+    for m in masks:
+        out.extend(m)
+    return out
+
+
+def tolist(col: Column) -> List[int]:
+    if isinstance(col, list):
+        return col
+    return [int(v) for v in col]
+
+
+def size(col: Column) -> int:
+    return len(col)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic passes (LLC set/tag extraction, DRAM mapping)
+# ---------------------------------------------------------------------------
+
+def mod(col: Column, divisor: int) -> Column:
+    if use_numpy() and not isinstance(col, list):
+        return col % divisor
+    return [v % divisor for v in col]
+
+
+def floordiv(col: Column, divisor: int) -> Column:
+    if use_numpy() and not isinstance(col, list):
+        return col // divisor
+    return [v // divisor for v in col]
+
+
+def eq_scalar(col: Column, value: int) -> Mask:
+    if use_numpy() and not isinstance(col, list):
+        return col == value
+    return [v == value for v in col]
+
+
+def add_scalar(col: Column, value: int) -> Column:
+    if use_numpy() and not isinstance(col, list):
+        return col + value
+    return [v + value for v in col]
+
+
+def mul_scalar(col: Column, value: int) -> Column:
+    if use_numpy() and not isinstance(col, list):
+        return col * value
+    return [v * value for v in col]
+
+
+# ---------------------------------------------------------------------------
+# Masks
+# ---------------------------------------------------------------------------
+
+def logical_and(a: Mask, b: Mask) -> Mask:
+    if use_numpy() and not isinstance(a, list):
+        return a & b
+    return [x and y for x, y in zip(a, b)]
+
+
+def logical_not(a: Mask) -> Mask:
+    if use_numpy() and not isinstance(a, list):
+        return ~a
+    return [not x for x in a]
+
+
+def count_true(mask: Mask) -> int:
+    if use_numpy() and not isinstance(mask, list):
+        return int(_np.count_nonzero(mask))
+    return sum(1 for x in mask if x)
+
+
+def true_indices(mask: Mask) -> List[int]:
+    if use_numpy() and not isinstance(mask, list):
+        return [int(i) for i in _np.nonzero(mask)[0]]
+    return [i for i, x in enumerate(mask) if x]
+
+
+def mask_to_column(mask: Mask) -> Column:
+    """Convert a boolean mask to a 0/1 int column (for mask arithmetic)."""
+    if use_numpy() and not isinstance(mask, list):
+        return mask.astype(_np.int64)
+    return [1 if x else 0 for x in mask]
+
+
+def add(a: Column, b: Column) -> Column:
+    if use_numpy() and not isinstance(a, list):
+        return a + b
+    return [x + y for x, y in zip(a, b)]
+
+
+def sub(a: Column, b: Column) -> Column:
+    if use_numpy() and not isinstance(a, list):
+        return a - b
+    return [x - y for x, y in zip(a, b)]
+
+
+def cumsum(col: Column) -> Column:
+    """Running (inclusive) prefix sum."""
+    if use_numpy() and not isinstance(col, list):
+        return _np.cumsum(col)
+    out: List[int] = []
+    total = 0
+    for v in col:
+        total += v
+        out.append(total)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Gather / ordering
+# ---------------------------------------------------------------------------
+
+def take(col: Column, indices: Sequence[int]) -> Column:
+    if use_numpy() and not isinstance(col, list):
+        return col[_np.asarray(indices, dtype=_np.int64)]
+    return [col[i] for i in indices]
+
+
+def stable_order(keys: Column) -> List[int]:
+    """Indices that sort ``keys`` ascending, ties in original order."""
+    if use_numpy() and not isinstance(keys, list):
+        return [int(i) for i in _np.argsort(keys, kind="stable")]
+    return sorted(range(len(keys)), key=keys.__getitem__)
+
+
+def group_by(keys: Column) -> Iterator[Tuple[int, List[int]]]:
+    """Yield ``(key, original_indices)`` groups, keys ascending, each
+    group's indices in original (stable) order.
+
+    This is the grouped-scan primitive: the ATS groups accesses by set
+    index, the DRAM pass groups requests by bank.
+    """
+    if use_numpy() and not isinstance(keys, list):
+        order = _np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        # Group boundaries: positions where the sorted key changes.
+        boundaries = _np.nonzero(sorted_keys[1:] != sorted_keys[:-1])[0] + 1
+        start = 0
+        order_list = [int(i) for i in order]
+        for end in [int(b) for b in boundaries] + [len(order_list)]:
+            if end > start:
+                yield int(sorted_keys[start]), order_list[start:end]
+            start = end
+        return
+    groups: Dict[int, List[int]] = {}
+    for i, key in enumerate(keys):
+        groups.setdefault(key, []).append(i)
+    for key in sorted(groups):
+        yield key, groups[key]
+
+
+def eq_prev(col: Column) -> Mask:
+    """Elementwise ``col[i] == col[i-1]``; position 0 is False.
+
+    The building block of run-length state scans: after a stable sort by
+    bank, ``eq_prev(bank) & eq_prev(row)`` marks row-buffer hits.
+    """
+    if use_numpy() and not isinstance(col, list):
+        out = _np.zeros(len(col), dtype=bool)
+        if len(col) > 1:
+            out[1:] = col[1:] == col[:-1]
+        return out
+    return [i > 0 and col[i] == col[i - 1] for i in range(len(col))]
+
+
+def scatter_mask(n: int, indices: Sequence[int], values: Mask) -> Mask:
+    """Inverse of :func:`take` for masks: ``out[indices[j]] = values[j]``."""
+    if use_numpy() and not isinstance(values, list):
+        out = _np.zeros(n, dtype=bool)
+        out[_np.asarray(indices, dtype=_np.int64)] = values
+        return out
+    out_list = [False] * n
+    for j, i in enumerate(indices):
+        out_list[i] = bool(values[j])
+    return out_list
+
+
+def merge_order(cycles: Column, seqs: Column) -> List[int]:
+    """Stable merge order for per-core streams: ascending cycle, ties by
+    the original arrival sequence number. This is the cycle-ordered merge
+    that reproduces the event engine's global service order."""
+    if use_numpy() and not isinstance(cycles, list):
+        # lexsort: last key is primary.
+        return [int(i) for i in _np.lexsort((seqs, cycles))]
+    return sorted(range(len(cycles)), key=lambda i: (cycles[i], seqs[i]))
+
+
+# ---------------------------------------------------------------------------
+# Firing-window arithmetic (ColumnarEngine stream plane)
+# ---------------------------------------------------------------------------
+
+def firing_count(start: int, stop: int, step: int) -> int:
+    """Number of firings of a periodic stream in ``[start, stop)``."""
+    if start >= stop:
+        return 0
+    return (stop - start + step - 1) // step
+
+
+def firing_cycles(start: int, count: int, step: int) -> Column:
+    """The firing cycles themselves, as a column."""
+    if use_numpy():
+        return start + step * _np.arange(count, dtype=_np.int64)
+    return [start + step * k for k in range(count)]

@@ -1,0 +1,135 @@
+"""Vectorized array passes over request columns.
+
+Three families, all composed purely from :mod:`repro.vector.columns`
+kernels (no per-element loops here — rule VEC001):
+
+* **LLC classification** — set-index / tag extraction and the sampled-set
+  mask, one arithmetic pass over the address column. The batched
+  auxiliary tag store (:meth:`repro.cache.auxtag.AuxiliaryTagStore.
+  access_batch`) builds on these.
+* **DRAM mapping** — :class:`repro.mem.dram.DramMapping.locate` over a
+  column: ``(channel, bank, row)`` for every request at once.
+* **Row-buffer scan** — a grouped per-bank scan classifying every
+  request as row hit / closed-row activate / row conflict, and the
+  back-to-back latency replay. ``tests/test_vector.py`` validates both
+  against the scalar :func:`repro.mem.dram.service_request` oracle.
+
+The row-buffer scan works because the bank state machine is a function
+of the *previous request's row in the same bank*: after a stable sort by
+bank, ``open_row`` at request *i* is simply ``row[i-1]`` of the same
+bank group (a hit keeps the row open, any miss leaves ``row[i]`` open).
+The latency replay additionally assumes requests drain back-to-back
+(each issued at its predecessor's completion), under which the tRAS
+precharge restriction never binds for DDR3-1333 (10-10-10):
+``tRCD + CL + burst >= tRAS`` in CPU cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config import CacheConfig, DramConfig
+from repro.vector import columns as col
+
+
+# ---------------------------------------------------------------------------
+# LLC classification
+# ---------------------------------------------------------------------------
+
+def llc_classify(addrs: col.Column, cache: CacheConfig) -> Tuple[col.Column, col.Column]:
+    """``(set_index, tag)`` columns for a line-address column."""
+    num_sets = cache.num_sets
+    return col.mod(addrs, num_sets), col.floordiv(addrs, num_sets)
+
+
+def sampled_set_mask(set_idx: col.Column, stride: int) -> col.Mask:
+    """Which requests fall in ATS-sampled sets (``set % stride == 0``)."""
+    if stride <= 1:
+        return col.mask_column([True] * col.size(set_idx))
+    return col.eq_scalar(col.mod(set_idx, stride), 0)
+
+
+# ---------------------------------------------------------------------------
+# DRAM mapping
+# ---------------------------------------------------------------------------
+
+def dram_locate(
+    addrs: col.Column, dram: DramConfig
+) -> Tuple[col.Column, col.Column, col.Column]:
+    """Columnar :meth:`repro.mem.dram.DramMapping.locate`:
+    ``(channel, bank, row)`` for every line address."""
+    lines_per_row = dram.row_size_bytes // 64
+    banks_per_channel = dram.ranks_per_channel * dram.banks_per_rank
+    row_index = col.floordiv(addrs, lines_per_row)
+    channels = col.mod(row_index, dram.channels)
+    per_channel_row = col.floordiv(row_index, dram.channels)
+    banks = col.mod(per_channel_row, banks_per_channel)
+    rows = col.floordiv(per_channel_row, banks_per_channel)
+    return channels, banks, rows
+
+
+def bank_keys(channels: col.Column, banks: col.Column, dram: DramConfig) -> col.Column:
+    """Globally unique bank ids (channel-major) for grouping."""
+    banks_per_channel = dram.ranks_per_channel * dram.banks_per_rank
+    return col.add(col.mul_scalar(channels, banks_per_channel), banks)
+
+
+# ---------------------------------------------------------------------------
+# Row-buffer state scan
+# ---------------------------------------------------------------------------
+
+def row_buffer_scan(
+    keys: col.Column, rows: col.Column
+) -> Tuple[col.Mask, col.Mask, col.Mask]:
+    """Classify each request's row-buffer transition, grouped per bank.
+
+    Returns ``(hits, closed, conflicts)`` masks in the original request
+    order. Banks start with closed rows; within each bank group (stable
+    order = service order) a request hits iff the bank's previous
+    request targeted the same row.
+    """
+    order = col.stable_order(keys)
+    keys_sorted = col.take(keys, order)
+    rows_sorted = col.take(rows, order)
+    same_bank = col.eq_prev(keys_sorted)
+    same_row = col.eq_prev(rows_sorted)
+    hits_sorted = col.logical_and(same_bank, same_row)
+    closed_sorted = col.logical_not(same_bank)
+    conflicts_sorted = col.logical_and(
+        same_bank, col.logical_not(hits_sorted)
+    )
+    n = col.size(keys)
+    return (
+        col.scatter_mask(n, order, hits_sorted),
+        col.scatter_mask(n, order, closed_sorted),
+        col.scatter_mask(n, order, conflicts_sorted),
+    )
+
+
+def row_latencies(
+    hits: col.Mask, closed: col.Mask, dram: DramConfig
+) -> col.Column:
+    """Pre-bus service latency per request from its transition class:
+    hit = CL, closed = tRCD + CL, conflict = tRP + tRCD + CL."""
+    n = col.size(hits)
+    base = dram.trp + dram.trcd + dram.cas_latency
+    lat = col.full(n, base)
+    lat = col.sub(lat, col.mul_scalar(col.mask_to_column(closed), dram.trp))
+    lat = col.sub(
+        lat, col.mul_scalar(col.mask_to_column(hits), dram.trp + dram.trcd)
+    )
+    return lat
+
+
+def replay_completions(
+    latencies: col.Column, dram: DramConfig, start: int = 0
+) -> col.Column:
+    """Completion times of a back-to-back drain on one channel.
+
+    Each request issues at its predecessor's completion, so the data bus
+    never idles between bursts and ``completion_i = start +
+    sum_{j<=i}(latency_j + burst)`` — one prefix sum instead of a
+    sequential replay.
+    """
+    per_request = col.add_scalar(latencies, dram.burst_time)
+    return col.add_scalar(col.cumsum(per_request), start)

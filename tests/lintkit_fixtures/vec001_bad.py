@@ -1,0 +1,39 @@
+# lint: skip-file  (fixture: known VEC001 violations; columnar hot
+# passes must compose kernels, never walk columns element by element)
+
+from repro.vector import columns as col
+
+
+def classify_scalar(addrs, num_sets):
+    # Direct per-element iteration over a column.
+    set_idx = []
+    for a in addrs:
+        set_idx.append(a % num_sets)
+    return set_idx
+
+
+def count_hits_indexed(hits):
+    # Index loop in disguise: range(len(column)).
+    total = 0
+    for i in range(len(hits)):
+        if hits[i]:
+            total += 1
+    return total
+
+
+def pair_up(cycles, seqs):
+    # zip() over columns is still a per-element walk.
+    return [(c, s) for c, s in zip(cycles, seqs)]
+
+
+def tags_of(batch, num_sets):
+    # Attribute access doesn't hide the column either.
+    return [a // num_sets for a in batch.addrs]
+
+
+def widest_row(rows):
+    # enumerate() wrapping a column.
+    best = -1
+    for i, row in enumerate(rows):
+        best = max(best, row)
+    return best

@@ -1,0 +1,31 @@
+"""Fixture: columnar passes written the sanctioned way — whole-array
+kernel composition, with per-element work confined to the kernel layer
+(``repro.vector.columns``, the one module exempt from VEC001)."""
+
+from repro.vector import columns as col
+
+
+def classify(addrs, num_sets):
+    """Set-index/tag extraction as two kernel calls."""
+    return col.mod(addrs, num_sets), col.floordiv(addrs, num_sets)
+
+
+def count_hits(hits):
+    """Population count stays inside the kernel."""
+    return col.count_true(hits)
+
+
+def per_core(batch):
+    """Grouping yields (key, indices) pairs — iterating *groups* is fine;
+    only element-by-element column walks are flagged."""
+    totals = {}
+    for core, idx in batch.groups_by_core():
+        totals[core] = col.count_true(col.take(batch.hits, idx))
+    return totals
+
+
+def merge(streams):
+    """Iterating a list of stream objects is not a column walk."""
+    merged = col.concat([s.cycles for s in streams])
+    order = col.stable_order(merged)
+    return col.take(merged, order)

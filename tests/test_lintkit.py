@@ -26,6 +26,7 @@ RULE_FIXTURES = {
     "TEL001": (4, "repro.models.fixture"),
     "DOC001": (4, "repro.obs.fixture"),
     "IO001": (4, "repro.resilience.fixture"),
+    "VEC001": (5, "repro.vector.fixture"),
 }
 
 
