@@ -165,8 +165,12 @@ class DegradedCell:
 
     Recorded alongside the final :class:`RunFailure` (not instead of
     it) so the failure stays replayable while the degradation carries
-    the supervision story: why retrying stopped, how many attempts
-    were spent, and how much wall clock they consumed.
+    the supervision story: why retrying stopped and how many attempts
+    were spent. Wall-clock measurements deliberately stay *out* of this
+    record (rule NDT001): ``degraded.jsonl`` is part of the campaign's
+    reproducible byte stream, and the budget outcome is already
+    captured deterministically by ``reason == "budget_exhausted"``.
+    Live timings belong to logs and profiles, not durable records.
     """
 
     experiment: str
@@ -176,7 +180,6 @@ class DegradedCell:
     cell_fingerprint: str
     reason: str
     attempts: int
-    elapsed_s: float
     last_error_type: str
     last_message: str
 
@@ -194,7 +197,6 @@ class DegradedCell:
         *,
         reason: str,
         attempts: int,
-        elapsed_s: float,
     ) -> "DegradedCell":
         """Build the degradation record for ``failure``'s cell."""
         return cls(
@@ -205,7 +207,6 @@ class DegradedCell:
             cell_fingerprint=failure.fingerprint(),
             reason=reason,
             attempts=attempts,
-            elapsed_s=elapsed_s,
             last_error_type=failure.error_type,
             last_message=failure.message,
         )
@@ -222,9 +223,8 @@ class DegradedCell:
         """One-line human-readable degradation description."""
         return (
             f"{self.mix_name} (variant {self.variant or '-'}): "
-            f"{self.reason} after {self.attempts} attempt(s), "
-            f"{self.elapsed_s:.2f}s — last error "
-            f"{self.last_error_type}: {self.last_message}"
+            f"{self.reason} after {self.attempts} attempt(s) — "
+            f"last error {self.last_error_type}: {self.last_message}"
         )
 
 

@@ -9,15 +9,29 @@ per-line suppression comments.
 
 Suppressions
 ------------
-A finding is suppressed when the physical line it is reported on (or the
-line its enclosing statement starts on) carries a comment of the form::
+A finding is suppressed when the physical line it is reported on carries
+a comment of the form::
 
     x = risky()  # lint: ignore[DET001]
     y = other()  # lint: ignore[DET001, CYC001] -- optional rationale
     z = all_of_them()  # lint: ignore
 
+For findings reported on a decorated ``def``/``class`` line, suppression
+comments on the decorator lines apply too, and *stack*: the codes from
+every decorator line and the ``def`` line itself are unioned, so two
+decorators can each acknowledge a different rule.
+
 ``# lint: skip-file`` anywhere in the first five lines exempts the whole
 module (used for test fixtures that are deliberately broken).
+
+Whole-program rules
+-------------------
+Rules subclassing :class:`ProjectRule` see a :class:`repro.lintkit.flow.
+project.Project` built from every linted file at once (symbol table,
+import graph, call graph) instead of one module. ``lint_text`` /
+``lint_file`` run them over a one-module project so fixtures and single
+files still exercise them; ``lint_paths`` / the CLI build the project
+once from all parsed files and run each project rule a single time.
 """
 
 from __future__ import annotations
@@ -28,7 +42,21 @@ import os
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.lintkit.flow.project import Project
 
 #: Severity levels in increasing order of importance.
 SEVERITIES = ("note", "warning", "error")
@@ -124,6 +152,26 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that inspects the whole project instead of one module.
+
+    Subclasses implement :meth:`check_project`; the per-module
+    :meth:`check` is never called. ``packages`` gates which modules the
+    rule *scans* (helpers on :class:`~repro.lintkit.flow.project.Project`
+    filter by it), while resolution — call graphs, oracle lookups — may
+    follow references anywhere in the project.
+    """
+
+    #: Marker the drivers dispatch on.
+    project_scope = True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError("project rules implement check_project")
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -182,12 +230,36 @@ def _suppressions(source: str) -> Tuple[bool, Dict[int, Optional[Set[str]]]]:
     return skip_file, by_line
 
 
+def _decorator_lines(tree: ast.Module) -> Dict[int, List[int]]:
+    """Map each decorated def/class line to its decorator lines.
+
+    Findings land on the ``def`` line, but suppression comments read most
+    naturally on the decorators stacked above it — both work, and their
+    rule codes are unioned.
+    """
+    out: Dict[int, List[int]] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and node.decorator_list:
+            out[node.lineno] = [d.lineno for d in node.decorator_list]
+    return out
+
+
 def _is_suppressed(
-    finding: Finding, by_line: Dict[int, Optional[Set[str]]]
+    finding: Finding,
+    by_line: Dict[int, Optional[Set[str]]],
+    dec_lines: Optional[Dict[int, List[int]]] = None,
 ) -> bool:
-    codes = by_line.get(finding.line, set())
-    if codes is None:
-        return True
+    lines = [finding.line]
+    if dec_lines:
+        lines.extend(dec_lines.get(finding.line, ()))
+    codes: Set[str] = set()
+    for line in lines:
+        entry = by_line.get(line, set())
+        if entry is None:
+            return True  # blanket `# lint: ignore`
+        codes |= entry
     return finding.rule in codes
 
 
@@ -218,6 +290,139 @@ def module_name_for(path: str) -> str:
 # Drivers
 
 
+@dataclass
+class ParsedFile:
+    """One source file, parsed once, with its suppression map.
+
+    ``ctx`` is None when the file could not be read or parsed; ``error``
+    then carries the LINT000/LINT001 finding to report instead.
+    """
+
+    path: str
+    ctx: Optional[LintContext] = None
+    skip_file: bool = False
+    by_line: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+    dec_lines: Dict[int, List[int]] = field(default_factory=dict)
+    error: Optional[Finding] = None
+
+
+def parse_source(
+    source: str, *, path: str = "<string>", module: Optional[str] = None
+) -> ParsedFile:
+    """Parse ``source`` into a :class:`ParsedFile` (never raises)."""
+    module_name = module if module is not None else module_name_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return ParsedFile(
+            path=path,
+            error=Finding(
+                rule="LINT000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            ),
+        )
+    skip_file, by_line = _suppressions(source)
+    ctx = LintContext(
+        path=path,
+        module=module_name,
+        tree=tree,
+        source=source,
+        lines=source.splitlines(),
+    )
+    return ParsedFile(
+        path=path,
+        ctx=ctx,
+        skip_file=skip_file,
+        by_line=by_line,
+        dec_lines=_decorator_lines(tree),
+    )
+
+
+def parse_file(path: str) -> ParsedFile:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return ParsedFile(
+            path=path,
+            error=Finding(
+                rule="LINT001",
+                path=path,
+                line=1,
+                col=0,
+                message=f"cannot read file: {exc}",
+            ),
+        )
+    return parse_source(source, path=path)
+
+
+def _selected_rules(
+    select: Optional[Sequence[str]],
+) -> Tuple[List[Rule], List["ProjectRule"]]:
+    """Instantiate the selected rules, split into (per-file, project)."""
+    per_file: List[Rule] = []
+    project: List[ProjectRule] = []
+    for code, rule_cls in sorted(all_rules().items()):
+        if select is not None and code not in select:
+            continue
+        rule = rule_cls()
+        if isinstance(rule, ProjectRule):
+            project.append(rule)
+        else:
+            per_file.append(rule)
+    return per_file, project
+
+
+def lint_parsed(
+    files: Sequence[ParsedFile],
+    *,
+    select: Optional[Sequence[str]] = None,
+    apply_suppressions: bool = True,
+) -> List[Finding]:
+    """Lint already-parsed files: per-file rules, then one project pass.
+
+    Per-file rules see each module independently; project rules see a
+    :class:`~repro.lintkit.flow.project.Project` built from every
+    parseable, non-skipped file at once. Findings are then filtered
+    through each file's suppression comments and sorted.
+    """
+    from repro.lintkit.flow.project import Project
+
+    per_file_rules, project_rules = _selected_rules(select)
+    findings: List[Finding] = []
+    active: List[ParsedFile] = []
+    for parsed in files:
+        if parsed.error is not None:
+            findings.append(parsed.error)
+            continue
+        if parsed.skip_file and apply_suppressions:
+            continue
+        assert parsed.ctx is not None
+        active.append(parsed)
+        for rule in per_file_rules:
+            if rule.applies_to(parsed.ctx.module):
+                findings.extend(rule.check(parsed.ctx))
+    if project_rules and active:
+        project = Project.from_contexts([p.ctx for p in active if p.ctx])
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
+    if apply_suppressions:
+        by_path = {p.path: p for p in active}
+        findings = [
+            f
+            for f in findings
+            if f.path not in by_path
+            or not _is_suppressed(
+                f, by_path[f.path].by_line, by_path[f.path].dec_lines
+            )
+        ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
 def lint_text(
     source: str,
     *,
@@ -233,63 +438,19 @@ def lint_text(
     broken file cannot abort a tree-wide run. ``apply_suppressions=False``
     ignores ``# lint: ignore`` / ``# lint: skip-file`` comments — used by
     the fixture tests, which lint deliberately-broken files that carry a
-    skip-file guard against accidental tree-wide runs.
+    skip-file guard against accidental tree-wide runs. Project rules run
+    over a one-module project.
     """
-    module_name = module if module is not None else module_name_for(path)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="LINT000",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    skip_file, by_line = _suppressions(source)
-    if not apply_suppressions:
-        skip_file, by_line = False, {}
-    if skip_file:
-        return []
-    ctx = LintContext(
-        path=path,
-        module=module_name,
-        tree=tree,
-        source=source,
-        lines=source.splitlines(),
+    parsed = parse_source(source, path=path, module=module)
+    return lint_parsed(
+        [parsed], select=select, apply_suppressions=apply_suppressions
     )
-    findings: List[Finding] = []
-    for code, rule_cls in sorted(all_rules().items()):
-        if select is not None and code not in select:
-            continue
-        rule = rule_cls()
-        if not rule.applies_to(module_name):
-            continue
-        findings.extend(rule.check(ctx))
-    findings = [f for f in findings if not _is_suppressed(f, by_line)]
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
 
 
 def lint_file(
     path: str, *, select: Optional[Sequence[str]] = None
 ) -> List[Finding]:
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-    except (OSError, UnicodeDecodeError) as exc:
-        return [
-            Finding(
-                rule="LINT001",
-                path=path,
-                line=1,
-                col=0,
-                message=f"cannot read file: {exc}",
-            )
-        ]
-    return lint_text(source, path=path, select=select)
+    return lint_parsed([parse_file(path)], select=select)
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
@@ -308,30 +469,45 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                     yield os.path.join(dirpath, name)
 
 
+def parse_paths(
+    paths: Sequence[str],
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ParsedFile]:
+    """Parse every Python file under ``paths`` once."""
+    parsed: List[ParsedFile] = []
+    for filename in iter_python_files(paths):
+        if progress is not None:
+            progress(filename)
+        parsed.append(parse_file(filename))
+    return parsed
+
+
 def lint_paths(
     paths: Sequence[str],
     *,
     select: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[Finding]:
-    findings: List[Finding] = []
-    for filename in iter_python_files(paths):
-        if progress is not None:
-            progress(filename)
-        findings.extend(lint_file(filename, select=select))
-    return findings
+    return lint_parsed(parse_paths(paths, progress=progress), select=select)
 
 
 __all__ = [
     "Finding",
     "LintContext",
+    "ParsedFile",
+    "ProjectRule",
     "Rule",
     "SEVERITIES",
     "all_rules",
     "iter_python_files",
     "lint_file",
+    "lint_parsed",
     "lint_paths",
     "lint_text",
     "module_name_for",
+    "parse_file",
+    "parse_paths",
+    "parse_source",
     "register",
 ]

@@ -1,7 +1,15 @@
 """Command-line driver: ``repro-lint`` / ``python -m repro.lintkit``.
 
-Exit codes: 0 clean (or everything suppressed/grandfathered), 1 findings,
-2 usage or internal error.
+Exit codes: 0 clean (or everything suppressed/grandfathered), 1 findings
+(or wall-time budget exceeded), 2 usage or internal error.
+
+The tree is parsed exactly once: per-file rules run per module, then the
+whole-program rules (NDT001/UNIT001/PUR001/DUAL001) run over one
+:class:`~repro.lintkit.flow.project.Project` built from every parsed
+file. ``--changed-only`` still parses the full tree — project rules need
+the whole symbol table to resolve calls — and only *reports* findings in
+files changed relative to a git ref, so PR lint stays fast to read while
+staying whole-program sound.
 """
 
 from __future__ import annotations
@@ -9,16 +17,21 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.lintkit import baseline as baseline_mod
 from repro.lintkit.base import (
     Finding,
     all_rules,
-    iter_python_files,
-    lint_file,
+    lint_parsed,
+    parse_paths,
 )
+
+#: Finding severity -> SARIF result level (they coincide by design).
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -27,7 +40,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based simulator-invariant linter for the ASM reproduction "
             "(determinism, integer cycle accounting, hits+misses==accesses "
-            "conservation, picklable parallel payloads)."
+            "conservation, picklable parallel payloads, whole-program "
+            "nondeterminism taint and scalar<->columnar pairing)."
         ),
     )
     parser.add_argument(
@@ -39,7 +53,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
-        "--format", choices=("human", "json"), default="human",
+        "--format", choices=("human", "json", "sarif"), default="human",
         help="output format",
     )
     parser.add_argument(
@@ -52,6 +66,22 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--changed-only", metavar="REF", nargs="?", const="HEAD",
+        default=None,
+        help=(
+            "report findings only in files changed vs the given git ref "
+            "(default HEAD); the whole tree is still parsed so "
+            "whole-program rules resolve across unchanged files"
+        ),
+    )
+    parser.add_argument(
+        "--budget-seconds", type=float, metavar="S", default=None,
+        help=(
+            "fail (exit 1) if parsing + linting takes longer than S "
+            "seconds of wall time — CI's guard on analysis cost"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -72,6 +102,97 @@ def _list_rules() -> int:
     return 0
 
 
+def _changed_files(ref: str) -> Optional[Set[str]]:
+    """Absolute paths of files changed vs ``ref`` (None on git failure)."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=ACMR", ref],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed = {
+        os.path.abspath(line.strip())
+        for line in proc.stdout.splitlines()
+        if line.strip()
+    }
+    # Untracked files are changes too (git diff does not list them).
+    try:
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        changed.update(
+            os.path.abspath(line.strip())
+            for line in untracked.stdout.splitlines()
+            if line.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    return changed
+
+
+def sarif_report(findings: Sequence[Finding]) -> Dict[str, object]:
+    """A SARIF 2.1.0 log for GitHub code scanning upload."""
+    rules = all_rules()
+    used = sorted({f.rule for f in findings} & set(rules))
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": [
+                            {
+                                "id": code,
+                                "shortDescription": {
+                                    "text": rules[code].summary
+                                },
+                                "defaultConfiguration": {
+                                    "level": _SARIF_LEVELS.get(
+                                        rules[code].severity, "error"
+                                    )
+                                },
+                            }
+                            for code in used
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "level": _SARIF_LEVELS.get(f.severity, "error"),
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": f.path.replace(os.sep, "/")
+                                    },
+                                    "region": {
+                                        "startLine": max(f.line, 1),
+                                        "startColumn": f.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
+
+
 def _emit(
     findings: Sequence[Finding],
     fmt: str,
@@ -90,6 +211,9 @@ def _emit(
                 indent=2,
             )
         )
+        return
+    if fmt == "sarif":
+        print(json.dumps(sarif_report(findings), indent=2))
         return
     for finding in findings:
         print(finding.render())
@@ -124,19 +248,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    findings: List[Finding] = []
-    sources: Dict[str, List[str]] = {}
-    scanned = 0
-    for path in iter_python_files(args.paths):
-        scanned += 1
-        file_findings = lint_file(path, select=select)
-        if file_findings:
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    sources[path] = handle.read().splitlines()
-            except (OSError, UnicodeDecodeError):
-                sources[path] = []
-            findings.extend(file_findings)
+    changed: Optional[Set[str]] = None
+    if args.changed_only is not None:
+        changed = _changed_files(args.changed_only)
+        if changed is None:
+            print(
+                "repro-lint: --changed-only requires a git checkout and "
+                f"a valid ref (got {args.changed_only!r})",
+                file=sys.stderr,
+            )
+            return 2
+
+    started = time.monotonic()
+    parsed = parse_paths(args.paths)
+    findings = lint_parsed(parsed, select=select)
+    elapsed = time.monotonic() - started
+    scanned = len(parsed)
+    sources: Dict[str, List[str]] = {
+        p.path: p.ctx.lines for p in parsed if p.ctx is not None
+    }
+
+    if changed is not None:
+        findings = [
+            f for f in findings if os.path.abspath(f.path) in changed
+        ]
 
     baseline_path = args.baseline
     if baseline_path is None and os.path.isfile(
@@ -165,6 +300,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     _emit(findings, args.format, grandfathered, scanned, args.quiet)
+    if args.budget_seconds is not None and elapsed > args.budget_seconds:
+        print(
+            f"repro-lint: wall-time budget exceeded: {elapsed:.2f}s > "
+            f"{args.budget_seconds:.2f}s over {scanned} files",
+            file=sys.stderr,
+        )
+        return 1
     return 1 if findings else 0
 
 

@@ -1,0 +1,230 @@
+"""Scalar<->columnar pair registry backing DUAL001.
+
+The columnar backend (:mod:`repro.vector`) reimplements event-loop
+semantics as batch kernels; the event loop is the bit-exactness oracle.
+That equivalence only holds while the two implementations agree on the
+*structure* of the computation — thresholds, bank-count moduli, branch
+predicates. A constant tweaked on one side and not the other is exactly
+the bug the A/B harness exists to catch, one release too late.
+
+DUAL001 makes the pairing explicit and machine-checked:
+
+* every public kernel in a ``*.passes`` module must have an entry in a
+  module-level ``SCALAR_ORACLES`` dict literal (anywhere in the linted
+  tree) mapping its dotted name to its scalar oracle's dotted name;
+* the oracle must resolve to a function or class in the linted tree;
+* the kernel's *structural facts* — numeric constants (magnitudes 0, 1
+  and 2 are ignored as ambient) and comparison operator kinds — must be
+  a subset of the oracle's. New constants or new kinds of branches on
+  the kernel side mean the pair has drifted.
+
+Intentional divergence is declared in ``DRIFT_WAIVERS`` (dotted kernel
+name -> one-line rationale), which suppresses the drift check but never
+the registration requirement.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.lintkit.flow.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+)
+
+#: Names of the module-level dict literals the registry is read from.
+ORACLES_NAME = "SCALAR_ORACLES"
+WAIVERS_NAME = "DRIFT_WAIVERS"
+
+#: Constant magnitudes too common to signify structure.
+_AMBIENT = frozenset({0.0, 1.0, 2.0})
+
+
+@dataclass(frozen=True)
+class StructFacts:
+    """Constants and comparison kinds that define a function's shape."""
+
+    constants: FrozenSet[float]
+    compare_ops: FrozenSet[str]
+
+
+def struct_facts(node: ast.AST) -> StructFacts:
+    """Extract :class:`StructFacts` from any AST subtree."""
+    constants: set[float] = set()
+    ops: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant):
+            value = sub.value
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and abs(float(value)) not in _AMBIENT
+            ):
+                constants.add(abs(float(value)))
+        elif isinstance(sub, ast.Compare):
+            ops.update(type(op).__name__ for op in sub.ops)
+    return StructFacts(
+        constants=frozenset(constants), compare_ops=frozenset(ops)
+    )
+
+
+@dataclass
+class PairViolation:
+    """A kernel without (or out of sync with) its scalar oracle."""
+
+    module: ModuleInfo
+    node: ast.AST
+    kernel: str
+    message: str
+
+
+def registry(project: Project) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Merge every ``SCALAR_ORACLES`` / ``DRIFT_WAIVERS`` literal in the
+    linted tree into (oracles, waivers) maps."""
+    oracles: Dict[str, str] = {}
+    waivers: Dict[str, str] = {}
+    for name in sorted(project.modules):
+        tree = project.modules[name].ctx.tree
+        for stmt in tree.body:
+            target = _dict_literal_named(stmt)
+            if target is None:
+                continue
+            dict_name, value = target
+            into = oracles if dict_name == ORACLES_NAME else waivers
+            for key, val in zip(value.keys, value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(val, ast.Constant)
+                    and isinstance(val.value, str)
+                ):
+                    into[key.value] = val.value
+    return oracles, waivers
+
+
+def _dict_literal_named(
+    stmt: ast.stmt,
+) -> Optional[Tuple[str, ast.Dict]]:
+    value: Optional[ast.expr]
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target, value = stmt.targets[0], stmt.value
+    elif isinstance(stmt, ast.AnnAssign):
+        target, value = stmt.target, stmt.value
+    else:
+        return None
+    if (
+        isinstance(target, ast.Name)
+        and target.id in (ORACLES_NAME, WAIVERS_NAME)
+        and isinstance(value, ast.Dict)
+    ):
+        return target.id, value
+    return None
+
+
+def _oracle_facts(
+    resolved: Union[FunctionInfo, ClassInfo],
+) -> StructFacts:
+    return struct_facts(resolved.node)
+
+
+def check_pairs(
+    project: Project, scan: List[ModuleInfo]
+) -> List[PairViolation]:
+    """Run the DUAL001 checks over kernel modules in ``scan``."""
+    oracles, waivers = registry(project)
+    violations: List[PairViolation] = []
+    for module in scan:
+        if not _is_kernel_module(module.name):
+            continue
+        for qualname in sorted(module.functions):
+            info = module.functions[qualname]
+            if info.class_name is not None or info.name.startswith("_"):
+                continue
+            ref = info.ref
+            oracle = oracles.get(ref)
+            if oracle is None:
+                violations.append(
+                    PairViolation(
+                        module=module,
+                        node=info.node,
+                        kernel=ref,
+                        message=(
+                            f"kernel '{info.name}' has no entry in "
+                            f"{ORACLES_NAME}; declare its scalar oracle"
+                        ),
+                    )
+                )
+                continue
+            resolved = project.resolve_dotted(oracle)
+            if resolved is None:
+                if project.owns_module_of(oracle):
+                    violations.append(
+                        PairViolation(
+                            module=module,
+                            node=info.node,
+                            kernel=ref,
+                            message=(
+                                f"declared oracle '{oracle}' does not "
+                                "resolve to a function or class"
+                            ),
+                        )
+                    )
+                continue
+            if ref in waivers:
+                continue
+            drift = _drift(struct_facts(info.node), _oracle_facts(resolved))
+            if drift is not None:
+                violations.append(
+                    PairViolation(
+                        module=module,
+                        node=info.node,
+                        kernel=ref,
+                        message=(
+                            f"kernel '{info.name}' drifted from oracle "
+                            f"'{oracle}': {drift} (waive in "
+                            f"{WAIVERS_NAME} if intentional)"
+                        ),
+                    )
+                )
+    return violations
+
+
+def _is_kernel_module(name: str) -> bool:
+    return name == "repro.vector.passes" or name.endswith(".passes")
+
+
+def _drift(kernel: StructFacts, oracle: StructFacts) -> Optional[str]:
+    """A human-readable drift description, or None when in sync."""
+    extra_constants = kernel.constants - oracle.constants
+    if extra_constants:
+        listed = ", ".join(
+            _fmt_const(c) for c in sorted(extra_constants)[:4]
+        )
+        return f"constants absent from the oracle: {listed}"
+    if kernel.compare_ops:
+        extra_ops = kernel.compare_ops - oracle.compare_ops
+        if extra_ops:
+            return (
+                "comparison kinds absent from the oracle: "
+                + ", ".join(sorted(extra_ops))
+            )
+    return None
+
+
+def _fmt_const(value: float) -> str:
+    return str(int(value)) if value == int(value) else str(value)
+
+
+__all__ = [
+    "ORACLES_NAME",
+    "PairViolation",
+    "StructFacts",
+    "WAIVERS_NAME",
+    "check_pairs",
+    "registry",
+    "struct_facts",
+]

@@ -28,7 +28,24 @@ VEC001    the columnar backend's hot passes (``repro.vector``) never
           loop over column arrays element by element — per-element work
           belongs in the kernel layer (``repro.vector.columns``), which
           is the only module exempt
+NDT001    whole-program nondeterminism taint: wall-clock / global-RNG /
+          ``id()`` / set-order values must not flow — through any chain
+          of calls and returns — into campaign-store writes, run keys,
+          fingerprints or serialized output (flow-powered DET001)
+UNIT001   dimension inference: cycle / event / byte / fraction
+          quantities never combined or compared across units, with
+          units carried through helper returns
+PUR001    parallel purity: functions reachable from pool worker
+          payloads never mutate module-global state (per-process
+          copies silently diverge)
+DUAL001   every public columnar kernel declares its scalar event-loop
+          oracle in ``SCALAR_ORACLES`` and stays structurally in sync
+          with it (see :mod:`repro.vector.oracles`)
 ========  ============================================================
+
+The last four are :class:`~repro.lintkit.base.ProjectRule` subclasses
+living in :mod:`repro.lintkit.flow.rules`; they are imported at the
+bottom of this module so one import registers the full rule set.
 """
 
 from __future__ import annotations
@@ -38,6 +55,17 @@ import re
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lintkit.base import Finding, LintContext, Rule, register
+from repro.lintkit.facts import (
+    BANNED_BUILTINS as _BANNED_BUILTINS,
+    DATETIME_ATTRS as _DATETIME_ATTRS,
+    ImportMap as _ImportTracker,
+    RANDOM_ALLOWED as _RANDOM_ALLOWED,
+    WALL_CLOCK_ATTRS as _WALL_CLOCK_ATTRS,
+    call_target as _call_target,
+    describe_setish as _describe_setish,
+    has_unwrapped_true_division,
+    int_wrapper_names,
+)
 
 #: Modules whose behaviour feeds simulation results. DET001 is gated to
 #: exactly the packages ISSUE/DESIGN name; the wider HOT set adds the
@@ -54,77 +82,6 @@ HOT_PACKAGES: Tuple[str, ...] = DETERMINISM_PACKAGES + (
     "repro.harness",
     "repro.workloads",
 )
-
-#: time-module attributes that read a wall clock. ``monotonic`` is
-#: included: even watchdog uses must be explicitly acknowledged with a
-#: suppression so a reviewer sees every wall-clock read in the hot path.
-_WALL_CLOCK_ATTRS = frozenset(
-    {
-        "time",
-        "time_ns",
-        "monotonic",
-        "monotonic_ns",
-        "perf_counter",
-        "perf_counter_ns",
-        "process_time",
-        "process_time_ns",
-        "localtime",
-        "gmtime",
-        "clock_gettime",
-    }
-)
-_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
-#: The only constructors allowed on the ``random`` module: explicitly
-#: seeded generator instances.
-_RANDOM_ALLOWED = frozenset({"Random"})
-_BANNED_BUILTINS = frozenset({"id", "hash"})
-
-
-class _ImportTracker(ast.NodeVisitor):
-    """Map local names to the modules / module members they alias."""
-
-    def __init__(self) -> None:
-        #: local alias -> module dotted name ("import time as _t")
-        self.modules: Dict[str, str] = {}
-        #: local name -> (module, member) ("from random import randint")
-        self.members: Dict[str, Tuple[str, str]] = {}
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self.modules[alias.asname or alias.name.split(".")[0]] = alias.name
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module is None or node.level:
-            return
-        for alias in node.names:
-            self.members[alias.asname or alias.name] = (node.module, alias.name)
-
-
-def _call_target(
-    node: ast.Call, imports: _ImportTracker
-) -> Optional[Tuple[str, str]]:
-    """Resolve a call to (module, member) through the import aliases.
-
-    ``random.randint(...)`` -> ("random", "randint"); with
-    ``from time import time as now``, ``now()`` -> ("time", "time").
-    Unresolvable calls return None.
-    """
-    func = node.func
-    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-        module = imports.modules.get(func.value.id)
-        if module is not None:
-            return module, func.attr
-        member = imports.members.get(func.value.id)
-        if member is not None:
-            # e.g. `from datetime import datetime; datetime.now()`
-            return f"{member[0]}.{member[1]}", func.attr
-        return None
-    if isinstance(func, ast.Name):
-        member = imports.members.get(func.id)
-        if member is not None:
-            return member
-    return None
-
 
 @register
 class Det001WallClockAndGlobalRng(Rule):
@@ -206,30 +163,6 @@ class Det001WallClockAndGlobalRng(Rule):
 
 
 # ----------------------------------------------------------------------
-
-
-def _describe_setish(node: ast.expr) -> Optional[str]:
-    """Why ``node`` has hash-dependent (or order-obscuring) iteration."""
-    if isinstance(node, ast.Set):
-        return "a set literal"
-    if isinstance(node, ast.SetComp):
-        return "a set comprehension"
-    if isinstance(node, ast.Call):
-        func = node.func
-        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
-            return f"{func.id}(...)"
-        if isinstance(func, ast.Attribute) and func.attr == "keys":
-            return "a .keys() view"
-    if isinstance(node, ast.BinOp) and isinstance(
-        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-    ):
-        left = _describe_setish(node.left)
-        if left is not None:
-            return f"a set expression ({left} ...)"
-        right = _describe_setish(node.right)
-        if right is not None:
-            return f"a set expression (... {right})"
-    return None
 
 
 class _SetIterVisitor(ast.NodeVisitor):
@@ -376,8 +309,6 @@ class Det002SetIteration(Rule):
 _CYCLE_NAME_RE = re.compile(
     r"(?:^|_)(?:cycles?|quantum|quanta|epochs?)(?:$|_)"
 )
-#: Wrapping a division in one of these restores integer-ness.
-_INT_WRAPPERS = frozenset({"int", "round", "floor", "ceil", "trunc"})
 
 
 def _target_names(node: ast.expr) -> Iterator[str]:
@@ -393,39 +324,6 @@ def _target_names(node: ast.expr) -> Iterator[str]:
             yield from _target_names(elt)
     elif isinstance(node, ast.Starred):
         yield from _target_names(node.value)
-
-
-def _has_unwrapped_true_division(node: ast.expr) -> Optional[ast.BinOp]:
-    """First Div not inside an int()/round()/floor()-style wrapper."""
-
-    def scan(expr: ast.expr) -> Optional[ast.BinOp]:
-        if isinstance(expr, ast.Call):
-            func = expr.func
-            name = (
-                func.id
-                if isinstance(func, ast.Name)
-                else func.attr
-                if isinstance(func, ast.Attribute)
-                else ""
-            )
-            if name in _INT_WRAPPERS:
-                return None  # divisions under the wrapper are integered
-            for child in ast.iter_child_nodes(expr):
-                if isinstance(child, ast.expr):
-                    hit = scan(child)
-                    if hit is not None:
-                        return hit
-            return None
-        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Div):
-            return expr
-        for child in ast.iter_child_nodes(expr):
-            if isinstance(child, ast.expr):
-                hit = scan(child)
-                if hit is not None:
-                    return hit
-        return None
-
-    return scan(node)
 
 
 @register
@@ -445,6 +343,9 @@ class Cyc001TrueDivisionIntoCycles(Rule):
     packages = ("repro",)
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = _ImportTracker()
+        imports.visit(ctx.tree)
+        wrappers = int_wrapper_names(imports)
         for node in ast.walk(ctx.tree):
             targets: List[ast.expr] = []
             value: Optional[ast.expr] = None
@@ -478,7 +379,7 @@ class Cyc001TrueDivisionIntoCycles(Rule):
             ]
             if not tainted or value is None:
                 continue
-            div = _has_unwrapped_true_division(value)
+            div = has_unwrapped_true_division(value, wrappers)
             if div is not None:
                 yield self.finding(
                     ctx,
@@ -1141,6 +1042,10 @@ class Vec001PerElementColumnLoop(Rule):
                             "kernels instead",
                         )
 
+
+# Registers NDT001 / UNIT001 / PUR001 / DUAL001. Imported last: the
+# flow rules import the package constants defined above.
+from repro.lintkit.flow import rules as _flow_rules  # noqa: E402,F401
 
 __all__ = [
     "Acc001HitsMissesConservation",

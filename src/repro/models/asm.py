@@ -71,6 +71,7 @@ class AsmQuantumStats:
 
     @property
     def quantum_accesses(self) -> int:
+        """Total LLC accesses this quantum (conservation witness)."""
         return self.quantum_hits + self.quantum_misses
 
 
@@ -97,6 +98,7 @@ class AsmModel(SlowdownModel):
 
     # ------------------------------------------------------------------
     def attach(self, system: System) -> None:
+        """Hook the ATS and the ASM counters into ``system``'s streams."""
         super().attach(system)
         n = system.config.num_cores
         bank = self.bank
@@ -257,6 +259,7 @@ class AsmModel(SlowdownModel):
 
     # ------------------------------------------------------------------
     def estimate_slowdowns(self) -> List[float]:
+        """Per-core ASM slowdown (CAR-alone over CAR-shared) estimates."""
         assert self.system is not None
         assert self.bank is not None and self.guard is not None
         bank = self.bank
@@ -366,6 +369,7 @@ class AsmModel(SlowdownModel):
         return estimates
 
     def reset_quantum(self) -> None:
+        """Reset per-quantum counters; the ATS keeps its learned tags."""
         assert self.system is not None and self.bank is not None
         now = self.now
         n = self.num_cores

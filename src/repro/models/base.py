@@ -101,24 +101,29 @@ class OutstandingTracker:
         self._last_time = now
 
     def start(self, now: int) -> None:
+        """One more event becomes outstanding at cycle ``now``."""
         self._settle(now)
         self.count += 1
 
     def end(self, now: int) -> None:
+        """One outstanding event completes at cycle ``now``."""
         self._settle(now)
         if self.count <= 0:
             raise ValueError("end() without matching start()")
         self.count -= 1
 
     def set_gate(self, open_: bool, now: int) -> None:
+        """Open/close the accumulation gate (epoch membership) at ``now``."""
         self._settle(now)
         self.gate_open = open_
 
     def read(self, now: int) -> int:
+        """Busy cycles accumulated up to and including cycle ``now``."""
         self._settle(now)
         return self.busy_cycles
 
     def reset(self, now: int) -> None:
+        """Zero the accumulator at a quantum boundary; keep outstanding state."""
         self._settle(now)
         self.busy_cycles = 0
         self._last_time = now
@@ -222,11 +227,13 @@ class SlowdownModel:
     # -- helpers ----------------------------------------------------------
     @property
     def num_cores(self) -> int:
+        """Core count of the attached system."""
         assert self.system is not None
         return self.system.config.num_cores
 
     @property
     def now(self) -> int:
+        """Current simulated cycle of the attached system's engine."""
         assert self.system is not None
         return self.system.engine.now
 

@@ -31,6 +31,8 @@ from repro.models.perrequest import PerRequestAccounting
 
 
 class FstModel(SlowdownModel):
+    """FST prior-work baseline: per-request delay + pollution filter."""
+
     name = "fst"
     uses_epochs = False
 
@@ -43,6 +45,7 @@ class FstModel(SlowdownModel):
         self.last_alone_miss_latency: List[float] = []
 
     def attach(self, system: System) -> None:
+        """Hook pollution filters and per-request accounting into ``system``."""
         super().attach(system)
         n = system.config.num_cores
         bank = self.bank
@@ -74,6 +77,7 @@ class FstModel(SlowdownModel):
             self.filters[core].on_refetch(line_addr)
 
     def estimate_slowdowns(self) -> List[float]:
+        """Per-core FST slowdown from summed per-request delay cycles."""
         assert self.system is not None
         assert self.bank is not None and self.guard is not None
         bank = self.bank
@@ -120,6 +124,7 @@ class FstModel(SlowdownModel):
         return estimates
 
     def reset_quantum(self) -> None:
+        """Reset counters and accounting; pollution filters persist."""
         assert self.bank is not None
         self.bank.reset()
         self._accounting.reset()

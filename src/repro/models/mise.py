@@ -23,10 +23,13 @@ from repro.models.base import SlowdownModel
 
 
 class MiseModel(SlowdownModel):
+    """MISE prior-work baseline: request-service-rate ratio, memory only."""
+
     name = "mise"
     uses_epochs = True
 
     def attach(self, system: System) -> None:
+        """Hook epoch ownership and request-rate counters into ``system``."""
         super().attach(system)
         bank = self.bank
         assert bank is not None
@@ -66,6 +69,7 @@ class MiseModel(SlowdownModel):
         self._measuring = owner
 
     def estimate_slowdowns(self) -> List[float]:
+        """Per-core MISE slowdown (alone over shared request service rate)."""
         assert self.system is not None
         assert self.bank is not None and self.guard is not None
         bank = self.bank
@@ -107,6 +111,7 @@ class MiseModel(SlowdownModel):
         return estimates
 
     def reset_quantum(self) -> None:
+        """Reset counters and rebase the queueing estimator."""
         assert self.bank is not None
         self.bank.reset()
         self._queueing.rebase()

@@ -40,20 +40,24 @@ class MlpEstimator:
             self._last = now
 
     def start(self, now: int) -> None:
+        """A miss enters service at cycle ``now``."""
         self._settle(now)
         self.count += 1
 
     def end(self, now: int) -> None:
+        """A miss leaves service at cycle ``now``."""
         self._settle(now)
         self.count -= 1
 
     def parallelism(self, now: int) -> float:
+        """Average outstanding misses over miss-busy time (>= 1.0)."""
         self._settle(now)
         if self.busy <= 0:
             return 1.0
         return max(1.0, self.integral / self.busy)
 
     def reset(self, now: int) -> None:
+        """Zero the averages at a quantum boundary; keep in-flight counts."""
         self._settle(now)
         self.integral = 0.0
         self.busy = 0
@@ -125,6 +129,7 @@ class PerRequestAccounting:
                 self.alone_latency_samples[core].append(alone_estimate)
 
     def parallelism(self, core: int) -> float:
+        """Current MLP estimate for ``core`` (the STFM fudge factor)."""
         return self._mlp[core].parallelism(self.system.engine.now)
 
     def miss_busy_cycles(self, core: int) -> int:
@@ -136,6 +141,7 @@ class PerRequestAccounting:
         return mlp.busy
 
     def avg_miss_latency(self, core: int, default: float = 0.0) -> float:
+        """Mean measured (shared-run) miss latency for ``core``."""
         if self.latency_count[core] == 0:
             return default
         return self.latency_sum[core] / self.latency_count[core]
@@ -147,6 +153,7 @@ class PerRequestAccounting:
         return self.alone_latency_sum[core] / self.latency_count[core]
 
     def reset(self) -> None:
+        """Clear all per-quantum accumulators and the MLP averages."""
         n = len(self.interference_cycles)
         now = self.system.engine.now
         self.interference_cycles = [0.0] * n

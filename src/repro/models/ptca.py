@@ -30,6 +30,8 @@ if TYPE_CHECKING:
 
 
 class PtcaModel(SlowdownModel):
+    """PTCA prior-work baseline: per-request delay + cache-aware ATS."""
+
     name = "ptca"
     uses_epochs = False
 
@@ -42,6 +44,7 @@ class PtcaModel(SlowdownModel):
         self.last_alone_miss_latency: List[float] = []
 
     def attach(self, system: System) -> None:
+        """Hook the ATS and per-request accounting into ``system``."""
         super().attach(system)
         n = system.config.num_cores
         bank = self.bank
@@ -113,6 +116,7 @@ class PtcaModel(SlowdownModel):
             self._sampled_contention.add(core, col.count_true(contention))
 
     def estimate_slowdowns(self) -> List[float]:
+        """Per-core PTCA slowdown from cache- and memory-delay cycles."""
         assert self.system is not None
         assert self.bank is not None and self.guard is not None
         bank = self.bank
@@ -174,6 +178,7 @@ class PtcaModel(SlowdownModel):
         return estimates
 
     def reset_quantum(self) -> None:
+        """Reset counters and accounting; the ATS keeps its learned tags."""
         assert self.bank is not None
         self.bank.reset()
         self._accounting.reset()

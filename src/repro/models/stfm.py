@@ -21,10 +21,13 @@ from repro.models.perrequest import PerRequestAccounting
 
 
 class StfmModel(SlowdownModel):
+    """STFM prior-work baseline: stall-time fraction with MLP fudge."""
+
     name = "stfm"
     uses_epochs = False
 
     def attach(self, system: System) -> None:
+        """Hook stall trackers and per-request accounting into ``system``."""
         super().attach(system)
         n = system.config.num_cores
         bank = self.bank
@@ -49,6 +52,7 @@ class StfmModel(SlowdownModel):
             self._stall[core].end(now)
 
     def estimate_slowdowns(self) -> List[float]:
+        """Per-core STFM slowdown from the stalled-time fraction."""
         assert self.system is not None
         assert self.bank is not None and self.guard is not None
         bank = self.bank
@@ -76,6 +80,7 @@ class StfmModel(SlowdownModel):
         return estimates
 
     def reset_quantum(self) -> None:
+        """Reset counters, accounting and the stall trackers."""
         assert self.bank is not None
         now = self.now
         for tracker in self._stall:

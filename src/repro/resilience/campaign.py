@@ -563,7 +563,7 @@ class Campaign:
         else:
             reason = "attempts_exhausted"
         cell = DegradedCell.from_failure(
-            failure, reason=reason, attempts=attempts, elapsed_s=elapsed_s
+            failure, reason=reason, attempts=attempts
         )
         self.degraded.append(cell)
         if self.store is not None:

@@ -1,0 +1,46 @@
+"""Scalar oracle registry for the columnar kernels (rule DUAL001).
+
+Every public kernel in :mod:`repro.vector.passes` reimplements a piece
+of event-loop semantics; the event loop is the bit-exactness oracle
+(``tests/test_vector.py`` replays both and compares). This registry
+makes that pairing explicit so the linter can hold the two sides
+structurally in sync: a constant or branch kind added to a kernel that
+does not appear in its oracle is flagged as drift, and a new kernel
+without an entry here fails DUAL001 outright.
+
+Keys and values are fully-qualified dotted names. A value may name a
+function or a class — a class oracle contributes the structural facts
+of its whole body (``dram_locate``'s ``// 64`` lives in
+``DramMapping.__init__``, not ``locate``, so the class is the honest
+unit of comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: kernel -> scalar oracle, both as fully-qualified dotted names.
+SCALAR_ORACLES: Dict[str, str] = {
+    "repro.vector.passes.llc_classify": (
+        "repro.cache.auxtag.AuxiliaryTagStore.access"
+    ),
+    "repro.vector.passes.sampled_set_mask": (
+        "repro.cache.auxtag.AuxiliaryTagStore"
+    ),
+    "repro.vector.passes.dram_locate": "repro.mem.dram.DramMapping",
+    "repro.vector.passes.bank_keys": "repro.mem.dram.DramMapping",
+    "repro.vector.passes.row_buffer_scan": (
+        "repro.mem.dram.service_request"
+    ),
+    "repro.vector.passes.row_latencies": "repro.mem.dram.service_request",
+    "repro.vector.passes.replay_completions": (
+        "repro.mem.dram.service_request"
+    ),
+}
+
+#: kernel -> one-line rationale for *intentional* structural divergence
+#: from its oracle. An entry suppresses the DUAL001 drift check (never
+#: the registration requirement); keep each rationale reviewable.
+DRIFT_WAIVERS: Dict[str, str] = {}
+
+__all__ = ["DRIFT_WAIVERS", "SCALAR_ORACLES"]

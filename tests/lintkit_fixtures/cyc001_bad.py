@@ -20,3 +20,12 @@ class Accounting:
 def tail(total_cycles, chunk):
     last_epoch = total_cycles - (total_cycles / chunk) * chunk
     return last_epoch
+
+
+def misaligned(spent, n):
+    from math import floor as fl
+
+    # The aliased wrapper only sanitizes what it encloses: this
+    # division sits outside fl(...).
+    drain_cycles = fl(spent) / n
+    return drain_cycles

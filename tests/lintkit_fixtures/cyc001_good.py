@@ -21,3 +21,11 @@ class Accounting:
         # not a cycle counter.
         car_shared = accesses / quantum_cycles
         return car_shared
+
+
+def aligned(spent, n):
+    from math import floor as fl
+
+    # Aliased from-imports of math.floor sanitize like the real name.
+    drain_cycles = fl(spent / n)
+    return drain_cycles

@@ -5,6 +5,7 @@ import random
 import time as clock
 from datetime import datetime
 from random import randint
+from time import monotonic as mono
 
 
 def roll_latency():
@@ -38,3 +39,7 @@ def key_for(name):
 
 def jitter():
     return randint(0, 3)  # module-global RNG imported by member
+
+
+def tick():
+    return mono()  # wall clock behind a from-import alias

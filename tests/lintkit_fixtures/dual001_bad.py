@@ -1,0 +1,33 @@
+# lint: skip-file -- deliberately broken DUAL001 fixture (scalar
+# oracle registry); linted as module repro.vector.fixture.passes with
+# suppressions disabled.
+"""Kernels out of sync with (or missing) their scalar oracles."""
+
+SCALAR_ORACLES = {
+    "repro.vector.fixture.passes.drifting": (
+        "repro.vector.fixture.passes._scalar_drift"
+    ),
+    "repro.vector.fixture.passes.widowed": (
+        "repro.vector.fixture.passes._gone"
+    ),
+}
+
+
+def _scalar_drift(value):
+    """Scalar oracle: threshold is 8."""
+    return value % 8
+
+
+def unregistered(col):
+    # finding 1: public kernel with no SCALAR_ORACLES entry.
+    return [v + 1 for v in col]
+
+
+def drifting(col):
+    # finding 2: threshold 31 never made it back into the oracle.
+    return [v % 31 for v in col]
+
+
+def widowed(col):
+    # finding 3: the declared oracle no longer exists.
+    return [v + 1 for v in col]

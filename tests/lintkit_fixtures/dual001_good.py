@@ -1,0 +1,67 @@
+"""Clean counterpart of the DUAL001 fixture: every kernel paired.
+
+Linted as module ``repro.vector.fixture.passes``. Shows the four ways
+a kernel satisfies the registry: a function oracle in structural sync,
+a class oracle (whole-class facts), a waived intentional divergence,
+and an oracle living outside the linted tree (skipped, not flagged).
+Private helpers are not kernels.
+"""
+
+SCALAR_ORACLES = {
+    "repro.vector.fixture.passes.paired": (
+        "repro.vector.fixture.passes._scalar_paired"
+    ),
+    "repro.vector.fixture.passes.masked": (
+        "repro.vector.fixture.passes._ScalarModel"
+    ),
+    "repro.vector.fixture.passes.renormalized": (
+        "repro.vector.fixture.passes._scalar_paired"
+    ),
+    "repro.vector.fixture.passes.offloaded": "repro.legacy.scalar.run",
+}
+
+DRIFT_WAIVERS = {
+    "repro.vector.fixture.passes.renormalized": (
+        "columnar-only rescale; validated against the oracle end-to-end"
+    ),
+}
+
+
+def _scalar_paired(value):
+    """Scalar oracle sharing the kernel's threshold."""
+    return value % 31
+
+
+class _ScalarModel:
+    """Class oracle: facts are collected over the whole class body."""
+
+    def __init__(self, limit=8):
+        self.limit = limit
+
+    def admit(self, value):
+        return value <= self.limit
+
+
+def paired(col):
+    """In sync with ``_scalar_paired`` (same constant)."""
+    return [v % 31 for v in col]
+
+
+def masked(col):
+    """In sync with ``_ScalarModel`` (its 8 and ``<=`` cover this)."""
+    return [v <= 8 for v in col]
+
+
+def renormalized(col):
+    """Diverges on purpose; the waiver records why."""
+    return [v * 5 for v in col]
+
+
+def offloaded(col):
+    """Oracle lives outside the linted tree: no verdict either way."""
+    return [v + 1 for v in col]
+
+
+def _helper(col):
+    """Private: not a kernel, needs no oracle."""
+    return len(col)

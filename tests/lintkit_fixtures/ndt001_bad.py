@@ -1,0 +1,47 @@
+# lint: skip-file -- deliberately broken NDT001 fixture (whole-program
+# nondeterminism taint); linted as module repro.harness.fixture with
+# suppressions disabled.
+"""Nondeterministic values flowing into persistence/key sinks."""
+
+import json
+import time
+
+from repro.resilience.faults import stable_hash
+
+
+def stamp():
+    """A wall-clock read hiding behind an innocent helper."""
+    return time.time()
+
+
+def wrap(value):
+    """Taint rides through a constructor-shaped wrapper."""
+    return {"t": value}
+
+
+def persist(record, sink):
+    """The sink is two calls away from the source."""
+    json.dump(record, sink)
+
+
+def arbitrary(xs):
+    """Set-order dependent choice."""
+    return set(xs).pop()
+
+
+def save(sink):
+    t = stamp()
+    record = wrap(t)
+    persist(record, sink)  # finding 1: wall clock via stamp -> wrap -> persist
+    json.dump({"direct": time.time()}, sink)  # finding 2: direct
+    return record
+
+
+def key_of(seed):
+    # finding 3: a run key must never depend on when it was computed.
+    return stable_hash((seed, time.monotonic()))
+
+
+def save_choice(xs, sink):
+    # finding 4: set pop order is interpreter-dependent.
+    json.dump(arbitrary(xs), sink)

@@ -1,0 +1,46 @@
+"""Clean counterpart of the NDT001 fixture: same shapes, reproducible.
+
+Linted as module ``repro.harness.fixture``. Wall clocks are fine for
+*control* (budgets, backoff) as long as the value never reaches a
+persisted record or key; persisted values derive from config and
+simulated time; set contents are ordered before serialization.
+"""
+
+import json
+import time
+
+from repro.resilience.faults import stable_hash
+
+
+def sim_stamp(engine_now):
+    """Simulated time is deterministic: fine to persist."""
+    return engine_now
+
+
+def wrap(value):
+    return {"t": value}
+
+
+def persist(record, sink):
+    json.dump(record, sink)
+
+
+def ordered(xs):
+    """Sorting a set discharges its iteration-order dependence."""
+    return sorted(set(xs))
+
+
+def save(engine_now, sink):
+    record = wrap(sim_stamp(engine_now))
+    persist(record, sink)
+    json.dump({"members": ordered({"a", "b"})}, sink)
+    return record
+
+
+def key_of(seed, quanta):
+    return stable_hash((seed, quanta))
+
+
+def within_budget(started, limit_s):
+    """Wall clock used for control only — never persisted."""
+    return time.monotonic() - started < limit_s

@@ -1,0 +1,44 @@
+# lint: skip-file -- deliberately broken PUR001 fixture (impure worker
+# payloads); linted as module fixture_module with suppressions disabled.
+"""Module-global side effects reachable from parallel payloads."""
+
+CACHE = {}
+COUNTER = 0
+
+
+def impure_worker(x):
+    """Writes a module global: each pool process mutates its own copy."""
+    CACHE[x] = x
+    return x
+
+
+def rebinding_worker(x):
+    """Rebinds a module global behind ``global``."""
+    global COUNTER
+    COUNTER += 1
+    return x
+
+
+def deep_worker(x):
+    """Impurity inherited from a callee, not committed here."""
+    return impure_worker(x) + 1
+
+
+def indirect(pool, fn, xs):
+    """Dispatcher: whatever lands in ``fn`` runs in a worker."""
+    return pool.submit(fn, xs)
+
+
+def fan_out(pool, xs):
+    # finding 1: direct submit of a global-mutating worker.
+    return pool.submit(impure_worker, xs)
+
+
+def fan_map(pool, xs):
+    # finding 2: map of a global-rebinding worker.
+    return pool.map(rebinding_worker, xs)
+
+
+def launch(pool, xs):
+    # finding 3: payload position propagates through indirect().
+    return indirect(pool, deep_worker, xs)

@@ -1,0 +1,36 @@
+"""Clean counterpart of the PUR001 fixture: payloads stay pure.
+
+Linted as module ``fixture_module``. Workers compute and return;
+module-global mutation is allowed anywhere *not* reachable from a
+worker payload, and an idempotent memo write can be vouched for with
+``# lint: pure``.
+"""
+
+TICKS = 0
+_MEMO = {}
+
+
+def pure_worker(x):
+    """Computes from its arguments alone."""
+    return x * x + 1
+
+
+def memo_worker(x):  # lint: pure
+    """Idempotent per-process memo: declared pure, trusted."""
+    if x not in _MEMO:
+        _MEMO[x] = x * x
+    return _MEMO[x]
+
+
+def bump():
+    """Mutates a global, but never runs inside a worker."""
+    global TICKS
+    TICKS += 1
+    return TICKS
+
+
+def fan_out(pool, xs):
+    """Only pure payloads reach the pool."""
+    bump()
+    futures = [pool.submit(pure_worker, xs), pool.map(memo_worker, xs)]
+    return futures

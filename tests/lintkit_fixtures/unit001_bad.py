@@ -1,0 +1,36 @@
+# lint: skip-file -- deliberately broken UNIT001 fixture (dimension
+# inference); linted as module repro.cpu.fixture with suppressions
+# disabled.
+"""Cycle/event/fraction quantities combined incompatibly."""
+
+
+def account(stall_cycles, miss_frac):
+    # finding 1: adds a fraction to a cycle count.
+    return stall_cycles + miss_frac
+
+
+def saturated(busy_cycles, total_accesses):
+    # finding 2: compares time against an event count.
+    if busy_cycles < total_accesses:
+        return total_accesses
+    return busy_cycles
+
+
+def normalize(quantum_cycles):
+    # finding 3: the target name promises a fraction; the value is time.
+    ratio = quantum_cycles
+    return ratio
+
+
+def drain_window(depth):
+    """Innocent name, but what it computes is cycles."""
+    return depth * 4 + unit_quantum()
+
+
+def unit_quantum():
+    return 100
+
+
+def progress(epoch_hits, depth):
+    # finding 4: interprocedural — drain_window() returns cycles.
+    return epoch_hits + drain_window(depth)

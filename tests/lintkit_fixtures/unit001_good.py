@@ -1,0 +1,33 @@
+"""Clean counterpart of the UNIT001 fixture: dimensionally consistent.
+
+Linted as module ``repro.cpu.fixture``. Same quantity kinds as the bad
+fixture, combined only in ways the unit algebra accepts: like with
+like, time scaled by a fraction, and ratios built from same-unit
+divisions.
+"""
+
+
+def service(busy_cycles, stall_cycles):
+    """Cycles add to cycles."""
+    return busy_cycles + stall_cycles
+
+
+def weighted(total_cycles, share_frac):
+    """Scaling time by a fraction keeps it time."""
+    return total_cycles * share_frac
+
+
+def slowdown(shared_cycles, alone_cycles):
+    """Same-unit division yields a dimensionless ratio."""
+    slow_ratio = shared_cycles // max(alone_cycles, 1)
+    return slow_ratio
+
+
+def drain_window(depth):  # lint: unit[cycles]
+    """Declared unit: trusted over the (absent) name hint."""
+    return depth * 4
+
+
+def horizon(quantum, depth):
+    """A declared-cycles helper participates in cycle arithmetic."""
+    return quantum + drain_window(depth)

@@ -489,13 +489,17 @@ def test_degraded_cell_roundtrip_and_validation():
         cell_fingerprint="abc",
         reason="attempts_exhausted",
         attempts=3,
-        elapsed_s=1.5,
         last_error_type="InjectedFault",
         last_message="boom",
     )
     restored = DegradedCell.from_json(json.loads(json.dumps(cell.to_json())))
     assert restored == cell
     assert "attempts_exhausted" in cell.describe()
+    # Stores written before the wall-clock field was dropped still load:
+    # from_json filters to the current schema.
+    legacy = {**cell.to_json(), "elapsed_s": 1.5}
+    assert DegradedCell.from_json(legacy) == cell
+    assert "elapsed_s" not in cell.to_json()
     with pytest.raises(ValueError, match="unknown degradation reason"):
         DegradedCell(**{**cell.to_json(), "reason": "gremlins"})
 
