@@ -39,6 +39,7 @@ from repro.experiments import (
     fig09_asm_cache,
     fig10_asm_mem,
     fig11_qos,
+    fleet_qos,
     sec64_mise_vs_asm,
     sec72_combined,
     table3_quantum_epoch,
@@ -111,6 +112,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "db": _with_scale(db_workloads.run),
     "ablations": _with_scale(ablations.run),
     "telemetry-faults": _with_scale(telemetry_faults.run),
+    "fleet": _fixed_scale(fleet_qos.run),
 }
 
 DESCRIPTIONS = {
@@ -132,6 +134,7 @@ DESCRIPTIONS = {
     "db": "database workloads (TPC-C/YCSB)",
     "ablations": "ASM design-choice ablations",
     "telemetry-faults": "chaos suite: estimator robustness under counter faults",
+    "fleet": "fleet tier: placement policy, chaos robustness, fair pricing",
 }
 
 DEFAULT_CAMPAIGN_DIR = os.path.join("results", ".campaign")
@@ -232,6 +235,10 @@ def main(argv=None) -> int:
         from repro.perfbench import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "cloud":
+        from repro.cloud.cli import cloud_main
+
+        return cloud_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -243,6 +250,8 @@ def main(argv=None) -> int:
               "(repro campaign verify|repair|compact)")
         print(f"{'bench':14s} perf benchmarks + columnar A/B drill "
               "(repro bench run|compare|merge|ab)")
+        print(f"{'cloud':14s} slowdown-aware fleet tier "
+              "(repro cloud run|report)")
         return 0
     if args.experiment not in EXPERIMENTS:
         return _unknown_experiment(args.experiment)

@@ -1,0 +1,74 @@
+"""The deterministic tenant job stream a fleet serves.
+
+Tenants are the cloud-tier analogue of the paper's multiprogrammed
+workloads: each one is a synthetic application drawn from the catalog
+(or a Figure-1-style hog, when the spec asks for a hog fraction) with a
+demand measured in quanta and an arrival round. The stream mirrors
+:func:`~repro.workloads.mixes.random_mixes` determinism: tenant ``i``
+depends only on ``(spec.seed, i)`` — not on how many tenants exist, nor
+on anything the scheduler later decides — so two fleets with the same
+spec agree on every tenant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.cloud.spec import FleetSpec
+from repro.workloads.catalog import CATALOG
+from repro.workloads.hog import hog_spec
+from repro.workloads.synthetic import AppSpec
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One unit of fleet demand: an application with an SLA."""
+
+    tenant_id: int
+    spec: AppSpec
+    demand_quanta: int
+    arrival_round: int
+    is_hog: bool = False
+
+    @property
+    def name(self) -> str:
+        """Stable display name (``t03:mcf``)."""
+        return f"t{self.tenant_id:03d}:{self.spec.name}"
+
+
+def tenant_stream(spec: FleetSpec) -> List[Tenant]:
+    """Draw the full tenant arrival stream for ``spec``, in id order.
+
+    Arrivals are batched ``spec.arrivals_per_round`` per round starting
+    at round 0. Hog tenants (fraction ``spec.hog_fraction``) get a
+    high-intensity :func:`~repro.workloads.hog.hog_spec`; the rest draw
+    uniformly from the catalog.
+    """
+    pool = sorted(CATALOG.values(), key=lambda s: s.name)
+    tenants: List[Tenant] = []
+    for index in range(spec.num_tenants):
+        rng = random.Random(spec.seed * 1_000_003 + 7919 * index)
+        if rng.random() < spec.hog_fraction:
+            app = hog_spec(
+                intensity=0.5 + 0.5 * rng.random(),
+                cache_pressure=rng.random(),
+            )
+            is_hog = True
+        else:
+            app = rng.choice(pool)
+            is_hog = False
+        tenants.append(
+            Tenant(
+                tenant_id=index,
+                spec=app,
+                demand_quanta=spec.tenant_quanta,
+                arrival_round=index // spec.arrivals_per_round,
+                is_hog=is_hog,
+            )
+        )
+    return tenants
+
+
+__all__ = ["Tenant", "tenant_stream"]

@@ -34,6 +34,7 @@ _EXPORTS: Dict[str, str] = {
     "truncate_torn_tail": "repro.durability.atomic",
     "ChecksummedLog": "repro.durability.store",
     "DamageReport": "repro.durability.store",
+    "KeyedLog": "repro.durability.store",
     "RepairResult": "repro.durability.store",
     "STORE_SCHEMA_VERSION": "repro.durability.store",
     "compact_log": "repro.durability.store",

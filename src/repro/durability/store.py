@@ -349,6 +349,67 @@ def compact_log(
     return result
 
 
+class KeyedLog:
+    """Keyed, last-record-wins view over one :class:`ChecksummedLog`.
+
+    Fleet-state stores (placement rounds, billing records) are naturally
+    keyed streams: a crash-resumed supervisor deterministically replays
+    every round from the beginning and would re-append records identical
+    to the ones already on disk. :meth:`put` makes that replay
+    *idempotent* — a payload equal to the latest record under its key is
+    skipped, so a resume after a mid-run SIGKILL leaves the byte stream
+    exactly as an uninterrupted run would have written it. Damaged lines
+    are skipped on load (the replay recomputes and re-appends them), and
+    :func:`compact_log` can drop superseded generations because every
+    record carries its key in the ``"key"`` field.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._latest: Dict[str, Any] = {}
+        if os.path.exists(path):
+            payloads, _ = read_log(path)
+            for payload in payloads:
+                if isinstance(payload, dict) and "key" in payload:
+                    self._latest[str(payload["key"])] = payload
+        self._log: Optional[ChecksummedLog] = None
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The latest record stored under ``key`` (or ``None``)."""
+        return self._latest.get(key)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Durably record ``payload`` under ``key``; skip exact replays.
+
+        Returns ``True`` when a record was appended, ``False`` when the
+        latest record under ``key`` already equals ``payload`` (the
+        idempotent-resume fast path).
+        """
+        record = dict(payload)
+        record["key"] = key
+        if self._latest.get(key) == record:
+            return False
+        if self._log is None:
+            self._log = ChecksummedLog(self.path)
+        self._log.append(record)
+        self._latest[key] = record
+        return True
+
+    def keys(self) -> List[str]:
+        """Every stored key, sorted (deterministic iteration order)."""
+        return sorted(self._latest)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Latest record per key, in sorted key order."""
+        return [self._latest[key] for key in self.keys()]
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._latest
+
+
 class ChecksummedLog:
     """Appender for one checksummed JSONL file.
 
@@ -395,6 +456,7 @@ __all__ = [
     "ChecksummedLog",
     "DamageReport",
     "HEADER_KEY",
+    "KeyedLog",
     "QUARANTINE_SUFFIX",
     "RepairResult",
     "STORE_SCHEMA_VERSION",

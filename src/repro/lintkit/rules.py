@@ -76,6 +76,7 @@ DETERMINISM_PACKAGES: Tuple[str, ...] = (
     "repro.mem",
     "repro.models",
     "repro.policies",
+    "repro.cloud",
 )
 HOT_PACKAGES: Tuple[str, ...] = DETERMINISM_PACKAGES + (
     "repro.cpu",
@@ -748,7 +749,7 @@ class Tel001RawCounterRead(Rule):
 
     code = "TEL001"
     summary = "model reads a simulator counter outside CounterBank accessors"
-    packages = ("repro.models",)
+    packages = ("repro.models", "repro.cloud")
 
     def applies_to(self, module: str) -> bool:
         if module in _TEL001_EXEMPT_MODULES:
@@ -826,6 +827,7 @@ PERSISTENCE_PACKAGES: Tuple[str, ...] = (
     "repro.obs",
     "repro.parallel",
     "repro.resilience",
+    "repro.cloud",
 )
 
 #: The atomic-write helper itself must call ``open()`` — it *is* the

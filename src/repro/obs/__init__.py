@@ -41,7 +41,13 @@ from repro.obs.events import (
     mask_for,
     names_for,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_metric_series,
+)
 from repro.obs.sinks import JsonlSink, NullSink, RingBufferSink, read_jsonl
 
 __all__ = [
@@ -58,6 +64,7 @@ __all__ = [
     "JsonlSink",
     "MODEL",
     "MetricsRegistry",
+    "render_metric_series",
     "NullSink",
     "POLICY",
     "QUANTUM",

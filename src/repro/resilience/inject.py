@@ -100,6 +100,15 @@ def flaky_model_factories(sentinel: str, mode: str = "raise"):
     return {"flaky": lambda: FlakyModel(sentinel, mode)}
 
 
+def flaky_node_model_factories(config, sentinel: str, mode: str = "kill"):
+    """Fleet-node recipe (the ``FleetSpec.model_builder`` shape, called
+    as ``builder(config, *args)``) whose model fails exactly once —
+    published under the ``asm`` name so the fleet supervisor reads its
+    estimates. The fleet determinism drills inject this to prove a
+    parallel fleet with a worker crash matches a crash-free serial one."""
+    return {"asm": lambda: FlakyModel(sentinel, mode)}
+
+
 class FlakyModel(SlowdownModel):
     """A model whose fault is *transient*: it fails until a sentinel file
     exists, creating the sentinel on the way down, so the next attempt of
@@ -265,5 +274,6 @@ __all__ = [
     "benign_model_factories",
     "exploding_model_factories",
     "flaky_model_factories",
+    "flaky_node_model_factories",
     "process_killer_factories",
 ]

@@ -22,8 +22,10 @@ import json
 import sys
 
 from repro.config import scaled_config
+from repro.durability.retry import RetryPolicy
 from repro.parallel import CellSpec
 from repro.resilience.campaign import Campaign, result_to_json
+from repro.resilience.inject import exploding_model_factories
 from repro.workloads.mixes import make_mix
 
 
@@ -40,11 +42,30 @@ def main(argv=None):
     parser.add_argument("--resume", action="store_true")
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--quanta", type=int, default=1)
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="profile cells (appends to metrics.jsonl) and run an extra "
+        "deterministically-failing mix whose give-up record lands in "
+        "degraded.jsonl — so the kill matrix can tear those stores too",
+    )
     args = parser.parse_args(argv)
 
     config = scaled_config().with_quantum(50_000, 5_000)
     mixes = build_mixes()
-    campaign = Campaign("chaos_drill", args.store, resume=args.resume)
+    if args.faults:
+        campaign = Campaign(
+            "chaos_drill",
+            args.store,
+            resume=args.resume,
+            keep_going=True,
+            profile=True,
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_s=0.0, jitter=0.0
+            ),
+        )
+    else:
+        campaign = Campaign("chaos_drill", args.store, resume=args.resume)
     if args.workers > 1:
         cells = [
             CellSpec(mix=mix, config=config, quanta=args.quanta)
@@ -55,7 +76,23 @@ def main(argv=None):
         results = [
             campaign.run_mix(mix, config, quanta=args.quanta) for mix in mixes
         ]
-    digest = [result_to_json(result) for result in results]
+    if args.faults:
+        # A mix whose model raises at quantum 0, every attempt: the
+        # supervisor retries once, the breaker proves the failure
+        # deterministic, and the give-up appends to degraded.jsonl.
+        results.append(
+            campaign.run_mix(
+                make_mix(["mcf", "bzip2"], seed=13),
+                config,
+                quanta=args.quanta,
+                variant="faulty",
+                model_factories=exploding_model_factories(0),
+            )
+        )
+    digest = [
+        result_to_json(result) if result is not None else None
+        for result in results
+    ]
     print(json.dumps(digest, sort_keys=True))
     return 0
 

@@ -1,0 +1,70 @@
+"""Subprocess driver for the fleet chaos/SIGKILL drills.
+
+Runs one small but real fleet — 3 nodes x 2 cores, 6 tenants, seeded
+node kills, stragglers and telemetry faults — against a campaign store
+and prints one line of canonical JSON: the fleet's deterministic digest
+(every placement, migration, mode switch and invoice line). The parent
+test harness runs this driver three ways:
+
+* clean: the baseline digest plus the baseline ``fleet.jsonl`` /
+  ``billing.jsonl`` byte streams;
+* under ``REPRO_CHAOS`` with a kill plan targeting the fleet's keyed
+  stores: the supervisor dies by SIGKILL mid-append, leaving a
+  possibly-torn store behind;
+* again on the same store with ``--resume``: must exit 0, print a
+  digest bit-identical to the baseline, and leave ``fleet.jsonl`` /
+  ``billing.jsonl`` byte-identical to the uninterrupted run's.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.cloud.fleet import FleetSupervisor
+from repro.cloud.spec import FleetChaosSpec, FleetSpec
+from repro.config import scaled_config
+from repro.resilience.campaign import Campaign
+
+
+def build_spec():
+    return FleetSpec(
+        name="drill",
+        num_nodes=3,
+        cores_per_node=2,
+        rounds=24,
+        quanta_per_round=1,
+        seed=7,
+        num_tenants=6,
+        arrivals_per_round=3,
+        tenant_quanta=2,
+        chaos=FleetChaosSpec(
+            node_kill_rate=0.25,
+            straggler_rate=0.25,
+            telemetry_rate=0.5,
+            telemetry_class="dropped_read",
+            seed=0,
+        ),
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("store", help="campaign store directory")
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    config = scaled_config().with_quantum(50_000, 5_000)
+    campaign = Campaign(
+        "cloud-drill", args.store, resume=args.resume, keep_going=True
+    )
+    supervisor = FleetSupervisor(
+        build_spec(), config, campaign, workers=args.workers
+    )
+    result = supervisor.run()
+    print(json.dumps(result.digest(), sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DRIVER = Path(__file__).resolve().parent / "chaos_driver.py"
 
 
-def run_driver(store, *, chaos="", resume=False, workers=1):
+def run_driver(store, *, chaos="", resume=False, workers=1, faults=False):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     env.pop("REPRO_CHAOS", None)
@@ -33,6 +33,8 @@ def run_driver(store, *, chaos="", resume=False, workers=1):
         cmd.append("--resume")
     if workers > 1:
         cmd.extend(["--workers", str(workers)])
+    if faults:
+        cmd.append("--faults")
     return subprocess.run(
         cmd, env=env, cwd=REPO_ROOT, capture_output=True, text=True
     )
@@ -87,6 +89,50 @@ def test_resume_after_sigkill_is_bit_identical(tmp_path, baseline, spec):
     # Matching digests are not enough: the resumed *store* must also have
     # converged (torn tails healed, every recomputed record durably
     # committed), or the next resume would silently recompute again.
+    verify = run_repro("campaign", "verify", str(store))
+    assert verify.returncode == 0, verify.stdout + verify.stderr
+
+
+@pytest.fixture(scope="module")
+def faulted_baseline(tmp_path_factory):
+    """Digest of an uninterrupted ``--faults`` run: profiled cells
+    (metrics.jsonl populated) plus one deterministically-failing mix
+    (degraded.jsonl populated)."""
+    store = tmp_path_factory.mktemp("pristine-faults")
+    proc = run_driver(store, faults=True)
+    assert proc.returncode == 0, proc.stderr
+    for name in ("metrics.jsonl", "degraded.jsonl", "failures.jsonl"):
+        assert (store / name).exists(), f"--faults run never wrote {name}"
+    return proc.stdout.strip().splitlines()[-1]
+
+
+#: Crash points against the supervision stores: per-cell metrics
+#: snapshots and the DegradedCell give-up records. As above, hit #1 is
+#: the store header and #2 the first real record.
+SUPERVISION_KILL_SPECS = [
+    "kill:before_append@metrics.jsonl#1",
+    "kill:mid_record@metrics.jsonl#2",
+    "kill:after_append@metrics.jsonl#1",
+    "kill:before_append@degraded.jsonl#1",
+    "kill:mid_record@degraded.jsonl#2",
+    "kill:after_append@degraded.jsonl#1",
+]
+
+
+@pytest.mark.parametrize("spec", SUPERVISION_KILL_SPECS)
+def test_resume_after_sigkill_in_supervision_stores(
+    tmp_path, faulted_baseline, spec
+):
+    store = tmp_path / "store"
+    killed = run_driver(store, chaos=spec, faults=True)
+    assert killed.returncode == -signal.SIGKILL, (
+        f"{spec}: expected SIGKILL, got rc={killed.returncode}\n"
+        f"{killed.stdout}{killed.stderr}"
+    )
+    resumed = run_driver(store, resume=True, faults=True)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout.strip().splitlines()[-1] == faulted_baseline
+    # Every store — including the one the kill tore — must verify clean.
     verify = run_repro("campaign", "verify", str(store))
     assert verify.returncode == 0, verify.stdout + verify.stderr
 
