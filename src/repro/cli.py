@@ -39,6 +39,7 @@ from repro.experiments import (
     fig09_asm_cache,
     fig10_asm_mem,
     fig11_qos,
+    fidelity_sweep,
     fleet_qos,
     sec64_mise_vs_asm,
     sec72_combined,
@@ -113,6 +114,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablations": _with_scale(ablations.run),
     "telemetry-faults": _with_scale(telemetry_faults.run),
     "fleet": _fixed_scale(fleet_qos.run),
+    "fidelity": _with_scale(fidelity_sweep.run),
 }
 
 DESCRIPTIONS = {
@@ -135,6 +137,7 @@ DESCRIPTIONS = {
     "ablations": "ASM design-choice ablations",
     "telemetry-faults": "chaos suite: estimator robustness under counter faults",
     "fleet": "fleet tier: placement policy, chaos robustness, fair pricing",
+    "fidelity": "fidelity sweep: per-tier runtime vs divergence from the oracle",
 }
 
 DEFAULT_CAMPAIGN_DIR = os.path.join("results", ".campaign")
@@ -197,6 +200,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execution backend (default: event; columnar "
                              "is the batched backend, bit-identical — see "
                              "DESIGN.md §9)")
+    parser.add_argument("--fidelity", type=str, default=None,
+                        choices=("analytical", "columnar", "event"),
+                        help="fidelity tier: 'analytical' is the closed-form "
+                             "surrogate (no simulation), 'columnar' the "
+                             "bit-exact batched backend, 'event' the oracle "
+                             "(see docs/fidelity.md)")
     parser.add_argument("--profile", action="store_true",
                         help="time every computed cell and print the "
                              "per-cell timing table; snapshots per-quantum "
@@ -316,6 +325,14 @@ def main(argv=None) -> int:
         )
         engine = None
 
+    fidelity = args.fidelity
+    if fidelity and "fidelity" not in getattr(runner, "supports", ()):
+        sys.stderr.write(
+            f"repro: '{args.experiment}' does not support --fidelity; "
+            "running at the configured engine's tier.\n"
+        )
+        fidelity = None
+
     start = time.time()
     result = runner(
         args.mixes or None,
@@ -325,6 +342,7 @@ def main(argv=None) -> int:
         workers=args.workers if args.workers > 1 else None,
         telemetry=telemetry,
         engine=engine,
+        fidelity=fidelity,
     )
     table = result.format_table()
     print(table)

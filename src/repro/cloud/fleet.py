@@ -40,6 +40,7 @@ from repro.cloud.node import node_mix, node_model_factories, worst_case_slowdown
 from repro.cloud.scheduler import FleetScheduler, node_breaker_key
 from repro.cloud.sla import SlaTracker
 from repro.cloud.spec import FleetSpec
+from repro.analytic.runner import resolve_fidelity
 from repro.cloud.admission import AdmissionController
 from repro.cloud.tenants import Tenant, tenant_stream
 from repro.config import SystemConfig
@@ -177,7 +178,12 @@ class FleetSupervisor:
         workers: int = 1,
     ) -> None:
         self.spec = spec
-        self.config = config.with_engine(spec.engine)
+        # The declared fidelity tier overrides the engine ("" keeps it):
+        # node rounds then dispatch through repro.analytic instead of a
+        # simulator, and the store fingerprints the resolved engine.
+        self.config = resolve_fidelity(
+            config.with_engine(spec.engine), spec.fidelity
+        )
         self.campaign = campaign
         # Node failures must degrade the round, not abort the fleet.
         self.campaign.keep_going = True
@@ -208,6 +214,7 @@ class FleetSupervisor:
             model_builder=builder,
             model_builder_args=(self.config,) + spec.model_builder_args,
             telemetry=events.telemetry,
+            fidelity=spec.fidelity,
         )
 
     def _tenant_outcome(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.analytic.runner import FIDELITY_TIERS
 from repro.harness.runner import ModelFactory
 from repro.models.base import POLICY_CONFIDENCE_FLOOR
 from repro.telemetry.spec import FAULT_CLASSES
@@ -89,6 +90,12 @@ class FleetSpec:
     base_rate: float = 1.0
     billing: str = "fair"
     engine: str = "event"
+    # Fidelity tier for the node rounds ("analytical" | "columnar" |
+    # "event", see docs/fidelity.md). Empty means ``engine`` governs.
+    # "analytical" runs every node round through the closed-form
+    # surrogate (repro.analytic): placement/SLA/billing still read the
+    # "asm" estimates, but telemetry chaos has nothing to corrupt.
+    fidelity: str = ""
     migration_max_attempts: int = 3
     migration_backoff_rounds: float = 1.0
     chaos: FleetChaosSpec = field(default_factory=FleetChaosSpec)
@@ -132,6 +139,11 @@ class FleetSpec:
             raise ValueError("base_rate must be positive")
         if self.engine not in ("event", "columnar"):
             raise ValueError("engine must be 'event' or 'columnar'")
+        if self.fidelity and self.fidelity not in FIDELITY_TIERS:
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; "
+                f"valid: {', '.join(FIDELITY_TIERS)} (or '' for engine)"
+            )
         if self.migration_max_attempts < 1:
             raise ValueError("migration_max_attempts must be >= 1")
         if self.migration_backoff_rounds < 0:

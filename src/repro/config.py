@@ -152,10 +152,12 @@ class SystemConfig:
     # exclusion (0 disables it — the paper-faithful setting).
     epoch_warmup_cycles: int = 0
     # Execution backend: "event" (the per-callback engine, the default and
-    # the correctness oracle) or "columnar" (repro.vector: batched array
-    # passes, bit-identical counters — see DESIGN.md §9). Kept as the last
-    # field so campaign-store fingerprints of pre-existing configs are
-    # unchanged (see repro.resilience.faults.config_fingerprint).
+    # the correctness oracle), "columnar" (repro.vector: batched array
+    # passes, bit-identical counters — see DESIGN.md §9) or "analytic"
+    # (repro.analytic: closed-form surrogate, no simulation at all — see
+    # docs/fidelity.md). Kept as the last field so campaign-store
+    # fingerprints of pre-existing configs are unchanged (see
+    # repro.resilience.faults.config_fingerprint).
     engine: str = "event"
 
     def with_cores(self, num_cores: int) -> "SystemConfig":
@@ -195,9 +197,10 @@ class SystemConfig:
             raise ValueError("quantum must be a whole number of epochs")
         if not 0 <= self.epoch_warmup_cycles < self.epoch_cycles:
             raise ValueError("epoch warmup must be shorter than the epoch")
-        if self.engine not in ("event", "columnar"):
+        if self.engine not in ("event", "columnar", "analytic"):
             raise ValueError(
-                f"engine must be 'event' or 'columnar', got {self.engine!r}"
+                "engine must be 'event', 'columnar' or 'analytic', "
+                f"got {self.engine!r}"
             )
 
 

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
+from repro.analytic.runner import resolve_fidelity, run_analytic
 from repro.config import SystemConfig, scaled_config
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -111,12 +112,22 @@ def survey_errors(
     scheduler_builder: Optional[Callable] = None,
     scheduler_builder_args: Sequence = (),
     telemetry: Optional["TelemetrySpec"] = None,
+    fidelity: str = "",
 ) -> ErrorSurvey:
     """Run every mix and collect estimation errors for every model.
 
     ``telemetry`` injects deterministic counter faults into every model's
     counter bank (see :mod:`repro.telemetry`); ``None`` means perfect
     telemetry.
+
+    ``fidelity`` selects the execution tier ("analytical" | "columnar" |
+    "event", see docs/fidelity.md); empty leaves ``config.engine`` in
+    charge. At the analytical tier the per-estimator machinery does not
+    run — only the closed-form "asm"/"analytic" estimates exist, and
+    other requested models simply collect no errors. An analytical
+    survey under a campaign with a store additionally cross-validates a
+    seeded sample of its cells against the event oracle and persists the
+    divergence report (:mod:`repro.analytic.crossval`).
 
     With a :class:`repro.resilience.campaign.Campaign`, each mix runs under
     its fault-isolation/checkpoint discipline: previously completed mixes
@@ -131,6 +142,7 @@ def survey_errors(
     ``model_builder(*model_builder_args)`` (and likewise for the
     scheduler). When only a builder is given, the serial path uses it too.
     """
+    config = resolve_fidelity(config, fidelity)
     if model_factories is None:
         if model_builder is None:
             raise ValueError(
@@ -169,6 +181,7 @@ def survey_errors(
         for result in camp.run_cells(cells, workers=workers):
             if result is not None:
                 survey.add_run(result)
+        _crossval_if_analytic(campaign, mixes, config, quanta, variant, fidelity)
         return survey
     # Explicit None check: an empty AloneRunCache is falsy (len == 0).
     if alone_cache is not None:
@@ -191,6 +204,8 @@ def survey_errors(
             )
             if result is None:
                 continue
+        elif config.engine == "analytic":
+            result = run_analytic(mix, config, quanta=quanta)
         else:
             result = run_workload(
                 mix,
@@ -202,7 +217,28 @@ def survey_errors(
                 telemetry=telemetry,
             )
         survey.add_run(result)
+    _crossval_if_analytic(campaign, mixes, config, quanta, variant, fidelity)
     return survey
+
+
+def _crossval_if_analytic(
+    campaign: Optional["Campaign"],
+    mixes: Sequence[WorkloadMix],
+    config: SystemConfig,
+    quanta: int,
+    variant: str,
+    fidelity: str,
+) -> None:
+    """After an analytical survey under a stored campaign, cross-validate a
+    seeded one-cell sample against the event oracle and persist the
+    divergence report next to the campaign's other records."""
+    if fidelity != "analytical" or campaign is None or campaign.store is None:
+        return
+    from repro.analytic.crossval import cross_validate
+
+    cross_validate(
+        campaign, mixes, config, quanta=quanta, variant=variant, sample_size=1
+    )
 
 
 def default_mixes(count: int, num_cores: int, seed: int = 42) -> List[WorkloadMix]:

@@ -61,6 +61,7 @@ def run(
     workers: int = 1,
     telemetry=None,
     engine: Optional[str] = None,
+    fidelity: str = "",
 ) -> ErrorComparisonResult:
     config = config or scaled_config()
     if engine:
@@ -79,5 +80,6 @@ def run(
         model_builder=sampled_models if sampled else unsampled_models,
         model_builder_args=(config,) if sampled else (),
         telemetry=telemetry,
+        fidelity=fidelity,
     )
     return ErrorComparisonResult(survey=survey, sampled=sampled)

@@ -259,6 +259,15 @@ class System:
 
             self.engine: Engine = ColumnarEngine()
             self.batch_plane = _BatchPlane(config.num_cores)
+        elif config.engine == "analytic":
+            # The analytic tier has no event loop at all; silently falling
+            # through to the scalar engine would simulate a cell the caller
+            # asked to estimate in closed form.
+            raise ValueError(
+                "engine 'analytic' cells never construct a System; run them "
+                "through repro.analytic (Campaign.run_mix / run_cells "
+                "dispatch on config.engine)"
+            )
         else:
             self.engine = Engine()
         self.controller = MemoryController(

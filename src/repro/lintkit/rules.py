@@ -77,6 +77,7 @@ DETERMINISM_PACKAGES: Tuple[str, ...] = (
     "repro.models",
     "repro.policies",
     "repro.cloud",
+    "repro.analytic",
 )
 HOT_PACKAGES: Tuple[str, ...] = DETERMINISM_PACKAGES + (
     "repro.cpu",
@@ -786,7 +787,7 @@ class Doc001MissingDocstring(Rule):
     code = "DOC001"
     summary = "public class/function lacks a docstring"
     severity = "warning"
-    packages = ("repro.obs", "repro.models")
+    packages = ("repro.obs", "repro.models", "repro.analytic")
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         yield from self._check_body(ctx, ctx.tree.body, private_scope=False)

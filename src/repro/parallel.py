@@ -67,6 +67,7 @@ from typing import (
     cast,
 )
 
+from repro.analytic.runner import resolve_fidelity, run_analytic
 from repro.config import SystemConfig
 from repro.harness.runner import (
     AloneProfile,
@@ -104,6 +105,10 @@ class CellSpec:
     scheduler_builder: Optional[Callable[..., Any]] = None
     scheduler_builder_args: Tuple[Any, ...] = ()
     telemetry: Optional[TelemetrySpec] = None
+    # Fidelity tier ("analytical" | "columnar" | "event", see
+    # docs/fidelity.md). Empty means unset: ``config.engine`` governs, so
+    # pre-fidelity call sites and ``--engine columnar`` are unchanged.
+    fidelity: str = ""
 
 
 class WorkerRunError(RuntimeError):
@@ -174,19 +179,27 @@ def _cell_worker(task: _CellTask) -> Dict[str, Any]:
         cache.absorb(task.profiles)
         captured: List[RunProfile] = []
         run_metrics = MetricsRegistry() if task.profile else None
-        result = run_workload(
-            spec.mix,
-            spec.config,
-            model_factories=build_model_factories(spec),
-            scheduler_factory=build_scheduler_factory(spec),
-            quanta=spec.quanta,
-            alone_cache=cache,
-            check_invariants=task.check_invariants,
-            wall_clock_budget_s=task.wall_clock_budget_s,
-            telemetry=spec.telemetry,
-            profile_sink=captured.append if task.profile else None,
-            run_metrics=run_metrics,
-        )
+        if spec.config.engine == "analytic":
+            result = run_analytic(
+                spec.mix,
+                spec.config,
+                quanta=spec.quanta,
+                profile_sink=captured.append if task.profile else None,
+            )
+        else:
+            result = run_workload(
+                spec.mix,
+                spec.config,
+                model_factories=build_model_factories(spec),
+                scheduler_factory=build_scheduler_factory(spec),
+                quanta=spec.quanta,
+                alone_cache=cache,
+                check_invariants=task.check_invariants,
+                wall_clock_budget_s=task.wall_clock_budget_s,
+                telemetry=spec.telemetry,
+                profile_sink=captured.append if task.profile else None,
+                run_metrics=run_metrics,
+            )
         payload: Dict[str, Any] = {"ok": True, "result": result}
         if captured:
             payload["wall_s"] = captured[0].wall_time_s
@@ -294,6 +307,14 @@ def _alone_cycles(cell: CellSpec) -> int:
     return (cell.quanta + 1) * cell.config.quantum_cycles
 
 
+def _with_fidelity(cell: CellSpec) -> CellSpec:
+    """``cell`` with its declared fidelity folded into ``config.engine``."""
+    config = resolve_fidelity(cell.config, cell.fidelity)
+    if config is cell.config:
+        return cell
+    return dataclasses.replace(cell, config=config)
+
+
 def run_cells(
     campaign: "Campaign",
     cells: Sequence[CellSpec],
@@ -306,7 +327,13 @@ def run_cells(
     ``None`` for cells whose failure was captured by ``keep_going``.
     ``workers=1`` delegates to :meth:`Campaign.run_mix` serially; results
     are identical either way.
+
+    Cells declaring a :attr:`CellSpec.fidelity` tier have it folded into
+    ``config.engine`` up front, so store keys, resume and dispatch all see
+    the resolved engine. Analytic cells skip phase 1 entirely — the alone
+    fixed point is part of the closed form (see :mod:`repro.analytic`).
     """
+    cells = [_with_fidelity(cell) for cell in cells]
     if workers <= 1:
         cache = campaign.alone_cache()
         return [
@@ -350,8 +377,10 @@ def run_cells(
     cell_keys: Dict[int, List[ProfileKey]] = {}
     for i in pending:
         cell = cells[i]
-        cycles = _alone_cycles(cell)
         cell_keys[i] = []
+        if cell.config.engine == "analytic":
+            continue  # closed form: no alone profiles to collect
+        cycles = _alone_cycles(cell)
         for core in range(cell.mix.num_cores):
             key = AloneRunCache._key(cell.mix, core, cell.config, cycles)
             cell_keys[i].append(key)

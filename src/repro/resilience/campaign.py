@@ -11,11 +11,13 @@ profiles are persisted the same way and shared across resumes.
 Store layout::
 
     results/.campaign/<experiment>/
-        runs.jsonl      completed per-mix results, one JSON object per line
-        alone.jsonl     memoised alone-run profiles
-        failures.jsonl  captured RunFailure records (replayable)
-        metrics.jsonl   per-quantum metrics snapshots (``--profile``)
-        degraded.jsonl  DegradedCell records (supervisor gave up)
+        runs.jsonl       completed per-mix results, one JSON object per line
+        alone.jsonl      memoised alone-run profiles
+        failures.jsonl   captured RunFailure records (replayable)
+        metrics.jsonl    per-quantum metrics snapshots (``--profile``)
+        degraded.jsonl   DegradedCell records (supervisor gave up)
+        divergence.jsonl fidelity cross-validation reports (analytic vs
+                         event oracle — see repro.analytic.crossval)
 
 All files use the checksummed store format v2 of
 :mod:`repro.durability.store`: a version header plus per-record sha256
@@ -162,6 +164,7 @@ class CampaignStore:
         self._failures_path = os.path.join(root, "failures.jsonl")
         self._metrics_path = os.path.join(root, "metrics.jsonl")
         self._degraded_path = os.path.join(root, "degraded.jsonl")
+        self._divergence_path = os.path.join(root, "divergence.jsonl")
         # One checksummed appender per file: tracks the next sequence
         # number and writes the v2 header on first append.
         self._logs: Dict[str, ChecksummedLog] = {}
@@ -243,6 +246,17 @@ class CampaignStore:
             DegradedCell.from_json(r)
             for r in _read_jsonl(self._degraded_path)
         ]
+
+    # -- fidelity divergence reports ------------------------------------
+    def put_divergence(self, record: dict) -> None:
+        """Append one fidelity cross-validation report (see
+        :mod:`repro.analytic.crossval`). The payload carries no wall
+        clocks, so equal seeds append byte-equal records."""
+        self._append(self._divergence_path, record)
+
+    def load_divergence(self) -> List[dict]:
+        """Every divergence report recorded for this campaign."""
+        return _read_jsonl(self._divergence_path)
 
 
 class PersistentAloneRunCache(AloneRunCache):
@@ -467,14 +481,26 @@ class Campaign:
                 run_metrics = MetricsRegistry()
                 run_kwargs["run_metrics"] = run_metrics
             try:
-                result = run_workload(
-                    mix,
-                    config,
-                    quanta=quanta,
-                    check_invariants=self.check_invariants,
-                    wall_clock_budget_s=self.wall_clock_budget_s,
-                    **run_kwargs,
-                )
+                if config.engine == "analytic":
+                    # Closed-form surrogate: no System, no scheduler, no
+                    # telemetry — only the profile sink carries over.
+                    from repro.analytic.runner import run_analytic
+
+                    result = run_analytic(
+                        mix,
+                        config,
+                        quanta=quanta,
+                        profile_sink=run_kwargs.get("profile_sink"),
+                    )
+                else:
+                    result = run_workload(
+                        mix,
+                        config,
+                        quanta=quanta,
+                        check_invariants=self.check_invariants,
+                        wall_clock_budget_s=self.wall_clock_budget_s,
+                        **run_kwargs,
+                    )
             except KeyboardInterrupt:
                 raise
             except Exception as exc:

@@ -25,6 +25,7 @@ DEFAULT_FILES = (
     "EXPERIMENTS.md",
     "docs/architecture.md",
     "docs/models.md",
+    "docs/fidelity.md",
 )
 
 #: inline links/images: [text](target) / ![alt](target); stops at the
